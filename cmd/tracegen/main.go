@@ -1,0 +1,74 @@
+// Command tracegen generates a benchmark's memory trace and writes it
+// to a file, or inspects an existing trace file.
+//
+// Usage:
+//
+//	tracegen -workload MVT -o mvt.trace
+//	tracegen -inspect mvt.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuwalk/internal/traceio"
+	"gpuwalk/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "MVT", "benchmark abbreviation")
+		out     = flag.String("o", "", "output file (required unless -inspect)")
+		inspect = flag.String("inspect", "", "trace file to summarize instead of generating")
+		scale   = flag.Float64("scale", 0.125, "footprint scale vs Table II")
+		wfs     = flag.Int("wavefronts", 0, "wavefronts per CU (0 = default)")
+		instrs  = flag.Int("instrs", 0, "memory instructions per wavefront (0 = default)")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		tr, err := traceio.LoadFile(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		summarize(tr)
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -o or -inspect required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := workload.ByName(*wl)
+	if err != nil {
+		fatal(err)
+	}
+	tr := g.Generate(workload.GenConfig{
+		Scale:              *scale,
+		WavefrontsPerCU:    *wfs,
+		InstrsPerWavefront: *instrs,
+		Seed:               *seed,
+	})
+	if err := traceio.SaveFile(*out, tr); err != nil {
+		fatal(err)
+	}
+	summarize(tr)
+	fmt.Println("written to", *out)
+}
+
+func summarize(tr *workload.Trace) {
+	kind := "regular"
+	if tr.Irregular {
+		kind = "irregular"
+	}
+	fmt.Printf("trace             %s (%s)\n", tr.Name, kind)
+	fmt.Printf("footprint         %.1f MB (scaled)\n", float64(tr.Footprint)/(1024*1024))
+	workload.Analyze(tr, 12).Print(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package gpuwalk
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SaveConfig writes cfg as indented JSON to the named file. Custom
+// schedulers (Config.CustomScheduler) are code, not data, and are not
+// serialized.
+func SaveConfig(path string, cfg Config) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cfg); err != nil {
+		return fmt.Errorf("gpuwalk: encoding config: %w", err)
+	}
+	return nil
+}
+
+// LoadConfig reads a JSON config written by SaveConfig (or by hand).
+// Fields absent from the file keep their zero values, so the usual
+// pattern is to start from DefaultConfig, save it, edit the file, and
+// load it back.
+func LoadConfig(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	var cfg Config
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("gpuwalk: decoding %s: %w", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,59 @@
+package gpuwalk_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpuwalk"
+)
+
+func TestConfigRoundtrip(t *testing.T) {
+	cfg := gpuwalk.DefaultConfig()
+	cfg.Workload = "GEV"
+	cfg.Scheduler = gpuwalk.SIMTAware
+	cfg.IOMMU.Walkers = 16
+	cfg.GPU.L2TLBEntries = 1024
+	cfg.Gen.Scale = 0.25
+	cfg.Seed = 99
+
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := gpuwalk.SaveConfig(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gpuwalk.LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != "GEV" || got.Scheduler != gpuwalk.SIMTAware ||
+		got.IOMMU.Walkers != 16 || got.GPU.L2TLBEntries != 1024 ||
+		got.Gen.Scale != 0.25 || got.Seed != 99 {
+		t.Errorf("roundtrip lost fields: %+v", got)
+	}
+	// The loaded config must actually run.
+	got.Gen.WavefrontsPerCU = 2
+	got.Gen.InstrsPerWavefront = 4
+	got.Gen.Scale = 0.05
+	if _, err := gpuwalk.Run(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadConfigRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"NotAField": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gpuwalk.LoadConfig(path); err == nil {
+		t.Error("unknown field accepted")
+	} else if !strings.Contains(err.Error(), "NotAField") {
+		t.Errorf("error does not name the field: %v", err)
+	}
+}
+
+func TestLoadConfigMissingFile(t *testing.T) {
+	if _, err := gpuwalk.LoadConfig(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package gpuwalk_test
+
+import (
+	"fmt"
+
+	"gpuwalk"
+)
+
+// ExampleRun simulates a small MVT run under the baseline FCFS walk
+// scheduler. The instruction count is a property of the generated trace
+// and is stable across model changes.
+func ExampleRun() {
+	cfg := gpuwalk.DefaultConfig()
+	cfg.Workload = "MVT"
+	cfg.Gen.WavefrontsPerCU = 2
+	cfg.Gen.InstrsPerWavefront = 4
+
+	res, err := gpuwalk.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("workload:", res.Workload)
+	fmt.Println("scheduler:", res.Scheduler)
+	fmt.Println("instructions:", res.Instructions)
+	// Output:
+	// workload: MVT
+	// scheduler: fcfs
+	// instructions: 64
+}
+
+// ExampleCompare races the paper's SIMT-aware scheduler against FCFS on
+// an irregular workload and reports whether it won (the exact factor
+// depends on configuration; see EXPERIMENTS.md).
+func ExampleCompare() {
+	cfg := gpuwalk.DefaultConfig()
+	cfg.Workload = "BIC"
+	cfg.Gen.WavefrontsPerCU = 4
+	cfg.Gen.InstrsPerWavefront = 12
+
+	_, _, speedup, err := gpuwalk.Compare(cfg, gpuwalk.FCFS, gpuwalk.SIMTAware)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("simt-aware beats fcfs:", speedup > 1)
+	// Output:
+	// simt-aware beats fcfs: true
+}
+
+// ExampleRunTrace drives the simulator with a hand-built trace instead
+// of a generated benchmark.
+func ExampleRunTrace() {
+	tr := &gpuwalk.Trace{Name: "hello", Footprint: 1 << 16}
+	tr.Wavefronts = []gpuwalk.WavefrontTrace{{
+		CU: 0,
+		Instrs: []gpuwalk.MemInstr{
+			{Lanes: []uint64{0x10000, 0x11000, 0x12000}}, // 3 pages
+			{Lanes: []uint64{0x10040}, Write: true},
+		},
+	}}
+
+	res, err := gpuwalk.RunTrace(gpuwalk.DefaultConfig(), tr)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("instructions:", res.Instructions)
+	fmt.Println("translations:", res.Translations)
+	// Output:
+	// instructions: 2
+	// translations: 4
+}

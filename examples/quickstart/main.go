@@ -1,0 +1,33 @@
+// Quickstart: run one irregular workload under the baseline FCFS
+// page-walk scheduler and under the paper's SIMT-aware scheduler, and
+// report the speedup — the headline experiment of the paper in ~30
+// lines of API use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuwalk"
+)
+
+func main() {
+	cfg := gpuwalk.DefaultConfig()
+	cfg.Workload = "MVT" // matrix-vector product & transpose (irregular)
+
+	base, test, speedup, err := gpuwalk.Compare(cfg, gpuwalk.FCFS, gpuwalk.SIMTAware)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload            %s\n", base.Workload)
+	fmt.Printf("FCFS                %d cycles, %d page walks\n",
+		base.Cycles, base.PageWalks())
+	fmt.Printf("SIMT-aware          %d cycles, %d page walks\n",
+		test.Cycles, test.PageWalks())
+	fmt.Printf("speedup             %.2fx\n", speedup)
+	fmt.Printf("stall reduction     %.1f%%\n",
+		100*(1-float64(test.StallCycles)/float64(base.StallCycles)))
+	fmt.Printf("walk reduction      %.1f%%\n",
+		100*(1-float64(test.PageWalks())/float64(base.PageWalks())))
+}

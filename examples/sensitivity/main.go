@@ -1,0 +1,50 @@
+// Sensitivity: sweep the machine parameters the paper studies in
+// Figures 13 and 14 — GPU L2 TLB capacity, page-table-walker count and
+// IOMMU buffer size — for one workload, and print how the SIMT-aware
+// scheduler's advantage over FCFS moves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuwalk"
+)
+
+func main() {
+	const workload = "GEV"
+
+	fmt.Println("workload:", workload)
+	fmt.Println("\nL2 TLB entries sweep (8 walkers, 256-entry buffer):")
+	for _, entries := range []int{256, 512, 1024, 2048} {
+		cfg := gpuwalk.DefaultConfig()
+		cfg.Workload = workload
+		cfg.GPU.L2TLBEntries = entries
+		report(fmt.Sprintf("%5d entries", entries), cfg)
+	}
+
+	fmt.Println("\npage table walker sweep (512-entry L2 TLB):")
+	for _, walkers := range []int{4, 8, 16, 32} {
+		cfg := gpuwalk.DefaultConfig()
+		cfg.Workload = workload
+		cfg.IOMMU.Walkers = walkers
+		report(fmt.Sprintf("%5d walkers", walkers), cfg)
+	}
+
+	fmt.Println("\nIOMMU buffer sweep (scheduler lookahead):")
+	for _, buf := range []int{64, 128, 256, 512} {
+		cfg := gpuwalk.DefaultConfig()
+		cfg.Workload = workload
+		cfg.IOMMU.BufferEntries = buf
+		report(fmt.Sprintf("%5d buffer", buf), cfg)
+	}
+}
+
+func report(label string, cfg gpuwalk.Config) {
+	base, test, speedup, err := gpuwalk.Compare(cfg, gpuwalk.FCFS, gpuwalk.SIMTAware)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s: fcfs %9d cy, simt-aware %9d cy, speedup %.3fx\n",
+		label, base.Cycles, test.Cycles, speedup)
+}

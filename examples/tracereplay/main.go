@@ -1,0 +1,63 @@
+// Tracereplay: generate a workload trace, archive it to disk, load it
+// back and replay it — showing that runs are bit-identical across the
+// save/load roundtrip (the foundation for sharing reproducible inputs).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gpuwalk"
+	"gpuwalk/internal/traceio"
+)
+
+func main() {
+	cfg := gpuwalk.DefaultConfig()
+	cfg.Workload = "XSB"
+	cfg.Gen.WavefrontsPerCU = 2
+	cfg.Gen.InstrsPerWavefront = 8
+
+	tr, err := gpuwalk.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "gpuwalk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "xsb.trace")
+
+	if err := traceio.SaveFile(path, tr); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("saved %s: %d wavefronts, %d instructions, %d bytes on disk\n",
+		path, len(tr.Wavefronts), tr.Instructions(), info.Size())
+
+	loaded, err := traceio.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	orig, err := gpuwalk.RunTrace(cfg, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay, err := gpuwalk.RunTrace(cfg, loaded)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("original run: %d cycles, %d walks\n", orig.Cycles, orig.PageWalks())
+	fmt.Printf("replayed run: %d cycles, %d walks\n", replay.Cycles, replay.PageWalks())
+	if orig.Cycles == replay.Cycles && orig.PageWalks() == replay.PageWalks() {
+		fmt.Println("replay is bit-identical ✓")
+	} else {
+		fmt.Println("MISMATCH — replay diverged!")
+		os.Exit(1)
+	}
+}

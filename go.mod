@@ -1,0 +1,3 @@
+module gpuwalk
+
+go 1.22

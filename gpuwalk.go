@@ -1,0 +1,201 @@
+// Package gpuwalk is a cycle-level simulator of GPU address translation
+// that reproduces "Scheduling Page Table Walks for Irregular GPU
+// Applications" (Shin et al., ISCA 2018).
+//
+// The simulated machine is an HSA-style system: a GPU (compute units,
+// wavefronts, coalescer, per-CU L1 TLBs and a shared L2 TLB, two-level
+// data caches) whose TLB misses are serviced by an IOMMU (two TLB
+// levels, a pending-walk buffer, page walk caches, and a pool of
+// hardware page table walkers) walking a real four-level x86-64 page
+// table held in simulated DDR3 DRAM.
+//
+// The scheduling point the paper studies — which pending page-table walk
+// a freed walker services next — is pluggable. Built-in policies are
+// FCFS (baseline), Random (strawman), SJF-only and Batch-only
+// (ablations), and the paper's full SIMT-aware scheduler.
+//
+// Quick start:
+//
+//	cfg := gpuwalk.DefaultConfig()
+//	cfg.Workload = "MVT"
+//	cfg.Scheduler = gpuwalk.SIMTAware
+//	res, err := gpuwalk.Run(cfg)
+//	// res.Cycles, res.StallCycles, res.PageWalks(), ...
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package gpuwalk
+
+import (
+	"fmt"
+
+	"gpuwalk/internal/core"
+	"gpuwalk/internal/dram"
+	"gpuwalk/internal/gpu"
+	"gpuwalk/internal/iommu"
+	"gpuwalk/internal/workload"
+)
+
+// Re-exported model types. The whole implementation lives under
+// internal/; these aliases are the supported surface.
+type (
+	// GPUConfig configures the GPU model (Table I upper half).
+	GPUConfig = gpu.Config
+	// DRAMConfig configures the DDR3 model.
+	DRAMConfig = dram.Config
+	// IOMMUConfig configures the IOMMU (buffer, walkers, PWCs).
+	IOMMUConfig = iommu.Config
+	// GenConfig controls workload trace generation.
+	GenConfig = workload.GenConfig
+	// Trace is a generated or loaded workload trace.
+	Trace = workload.Trace
+	// WavefrontTrace is one wavefront's instruction stream in a Trace.
+	WavefrontTrace = workload.WavefrontTrace
+	// MemInstr is one SIMD memory instruction's per-lane addresses.
+	MemInstr = workload.MemInstr
+	// Result carries every metric a run produces.
+	Result = gpu.Result
+	// Scheduler is the page-walk scheduling interface; implement it to
+	// plug in a custom policy (see examples/customsched).
+	Scheduler = core.Scheduler
+	// Request is one pending page-walk request as seen by a Scheduler.
+	Request = core.Request
+	// SchedulerKind names a built-in scheduling policy.
+	SchedulerKind = core.Kind
+	// SchedulerOptions tunes built-in policy construction.
+	SchedulerOptions = core.Options
+	// Workload describes one Table II benchmark generator.
+	Workload = workload.Generator
+)
+
+// Built-in scheduling policies. CUFair is this repo's follow-on
+// extension (cross-CU QoS on top of batching + SJF); the rest are the
+// paper's policies.
+const (
+	FCFS      = core.KindFCFS
+	Random    = core.KindRandom
+	SJFOnly   = core.KindSJF
+	BatchOnly = core.KindBatch
+	SIMTAware = core.KindSIMTAware
+	CUFair    = core.KindCUFair
+)
+
+// SchedulerKinds lists the built-in policies.
+func SchedulerKinds() []SchedulerKind { return core.Kinds() }
+
+// Workloads returns the twelve Table II benchmark generators.
+func Workloads() []*Workload { return workload.Registry() }
+
+// WorkloadNames returns the benchmark abbreviations (XSB, MVT, ...).
+func WorkloadNames() []string { return workload.Names() }
+
+// IrregularWorkloadNames returns the six irregular benchmarks.
+func IrregularWorkloadNames() []string { return workload.IrregularNames() }
+
+// WorkloadByName finds a benchmark generator by abbreviation.
+func WorkloadByName(name string) (*Workload, error) { return workload.ByName(name) }
+
+// Config is a complete run description.
+type Config struct {
+	GPU   GPUConfig
+	DRAM  DRAMConfig
+	IOMMU IOMMUConfig
+
+	// Scheduler selects the page-walk scheduling policy.
+	Scheduler SchedulerKind
+	// SchedOpts tunes the policy (aging threshold, random seed).
+	SchedOpts SchedulerOptions
+	// CustomScheduler, when non-nil, overrides Scheduler with a
+	// user-provided policy (see examples/customsched).
+	CustomScheduler Scheduler
+
+	// Workload is the benchmark abbreviation (see WorkloadNames).
+	Workload string
+	// Gen controls trace generation (scale, instruction counts, seed).
+	Gen GenConfig
+
+	// Seed randomizes OS frame placement.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's Table I baseline with the FCFS
+// scheduler and the MVT workload at the default scaled footprint.
+func DefaultConfig() Config {
+	return Config{
+		GPU:       gpu.DefaultConfig(),
+		DRAM:      dram.DefaultConfig(),
+		IOMMU:     iommu.DefaultConfig(),
+		Scheduler: FCFS,
+		Workload:  "MVT",
+		Gen:       GenConfig{}.WithDefaults(),
+	}
+}
+
+// Generate builds the workload trace cfg describes.
+func Generate(cfg Config) (*Trace, error) {
+	g, err := workload.ByName(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	gen := cfg.Gen
+	gen.CUs = cfg.GPU.CUs
+	gen.WavefrontWidth = cfg.GPU.WavefrontWidth
+	return g.Generate(gen), nil
+}
+
+// Run generates the configured workload and simulates it to completion.
+func Run(cfg Config) (Result, error) {
+	tr, err := Generate(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunTrace(cfg, tr)
+}
+
+// RunTrace simulates a pre-built trace under cfg (ignoring cfg.Workload
+// and cfg.Gen). Use it to replay saved traces or hand-built ones.
+func RunTrace(cfg Config, tr *Trace) (Result, error) {
+	sys, err := gpu.NewSystem(gpu.Params{
+		GPU:       cfg.GPU,
+		DRAM:      cfg.DRAM,
+		IOMMU:     cfg.IOMMU,
+		SchedKind: cfg.Scheduler,
+		SchedOpts: cfg.SchedOpts,
+		Scheduler: cfg.CustomScheduler,
+		Seed:      cfg.Seed,
+	}, tr)
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.Run()
+}
+
+// Speedup returns how much faster b is than a (a.Cycles / b.Cycles).
+func Speedup(a, b Result) float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return float64(a.Cycles) / float64(b.Cycles)
+}
+
+// Compare runs the same configuration under two schedulers and returns
+// both results plus the speedup of the second over the first. The same
+// trace (and the same frame placement) is used for both runs.
+func Compare(cfg Config, base, test SchedulerKind) (baseRes, testRes Result, speedup float64, err error) {
+	tr, err := Generate(cfg)
+	if err != nil {
+		return Result{}, Result{}, 0, err
+	}
+	c := cfg
+	c.Scheduler = base
+	baseRes, err = RunTrace(c, tr)
+	if err != nil {
+		return Result{}, Result{}, 0, fmt.Errorf("base run: %w", err)
+	}
+	c.Scheduler = test
+	testRes, err = RunTrace(c, tr)
+	if err != nil {
+		return Result{}, Result{}, 0, fmt.Errorf("test run: %w", err)
+	}
+	return baseRes, testRes, Speedup(baseRes, testRes), nil
+}

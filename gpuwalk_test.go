@@ -1,0 +1,157 @@
+package gpuwalk_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpuwalk"
+)
+
+// microConfig returns a fast test configuration.
+func microConfig() gpuwalk.Config {
+	cfg := gpuwalk.DefaultConfig()
+	cfg.Gen.WavefrontsPerCU = 2
+	cfg.Gen.InstrsPerWavefront = 6
+	cfg.Gen.Scale = 0.05
+	cfg.Gen.Seed = 11
+	cfg.Seed = 11
+	return cfg
+}
+
+func TestDefaultConfigRuns(t *testing.T) {
+	cfg := microConfig()
+	res, err := gpuwalk.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "MVT" || res.Scheduler != "fcfs" {
+		t.Errorf("defaults = %s/%s", res.Workload, res.Scheduler)
+	}
+	if res.Cycles == 0 || res.Instructions == 0 {
+		t.Error("empty result")
+	}
+}
+
+func TestAllWorkloadsAllSchedulers(t *testing.T) {
+	for _, wl := range gpuwalk.WorkloadNames() {
+		for _, sk := range gpuwalk.SchedulerKinds() {
+			cfg := microConfig()
+			cfg.Workload = wl
+			cfg.Scheduler = sk
+			res, err := gpuwalk.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", wl, sk, err)
+			}
+			if res.Instructions == 0 {
+				t.Errorf("%s/%s: no instructions executed", wl, sk)
+			}
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	cfg := microConfig()
+	cfg.Workload = "BOGUS"
+	if _, err := gpuwalk.Run(cfg); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestUnknownScheduler(t *testing.T) {
+	cfg := microConfig()
+	cfg.Scheduler = "bogus"
+	if _, err := gpuwalk.Run(cfg); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cfg := microConfig()
+	base, test, speedup, err := gpuwalk.Compare(cfg, gpuwalk.FCFS, gpuwalk.SIMTAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Scheduler != "fcfs" || test.Scheduler != "simt-aware" {
+		t.Errorf("schedulers = %s/%s", base.Scheduler, test.Scheduler)
+	}
+	if speedup != gpuwalk.Speedup(base, test) {
+		t.Error("speedup inconsistent with Speedup helper")
+	}
+	if speedup <= 0 {
+		t.Errorf("speedup = %f", speedup)
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	a := gpuwalk.Result{Cycles: 200}
+	b := gpuwalk.Result{Cycles: 100}
+	if got := gpuwalk.Speedup(a, b); got != 2 {
+		t.Errorf("Speedup = %f, want 2", got)
+	}
+	if got := gpuwalk.Speedup(a, gpuwalk.Result{}); got != 0 {
+		t.Errorf("Speedup with zero divisor = %f", got)
+	}
+}
+
+func TestGenerateMatchesMachineShape(t *testing.T) {
+	cfg := microConfig()
+	cfg.GPU.CUs = 4
+	tr, err := gpuwalk.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range tr.Wavefronts {
+		if w.CU >= 4 {
+			t.Fatalf("trace wavefront pinned to CU %d with 4 CUs", w.CU)
+		}
+	}
+}
+
+func TestRunTraceCustom(t *testing.T) {
+	cfg := microConfig()
+	tr := &gpuwalk.Trace{Name: "custom", Footprint: 1 << 20}
+	for wf := 0; wf < 2; wf++ {
+		tr.Wavefronts = append(tr.Wavefronts, gpuwalk.WavefrontTrace{
+			CU: wf,
+			Instrs: []gpuwalk.MemInstr{
+				{Lanes: []uint64{uint64(wf+1) << 20, uint64(wf+1)<<20 | 4096}},
+				{Lanes: []uint64{uint64(wf+1)<<20 | 8192}, Write: true},
+			},
+		})
+	}
+	res, err := gpuwalk.RunTrace(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "custom" {
+		t.Errorf("Workload = %q", res.Workload)
+	}
+	if res.Instructions != 4 {
+		t.Errorf("Instructions = %d, want 4", res.Instructions)
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	if len(gpuwalk.Workloads()) != 12 {
+		t.Errorf("Workloads = %d", len(gpuwalk.Workloads()))
+	}
+	if len(gpuwalk.IrregularWorkloadNames()) != 6 {
+		t.Errorf("irregular = %v", gpuwalk.IrregularWorkloadNames())
+	}
+	if _, err := gpuwalk.WorkloadByName("GEV"); err != nil {
+		t.Error(err)
+	}
+	names := strings.Join(gpuwalk.WorkloadNames(), ",")
+	for _, want := range []string{"XSB", "MVT", "HOT"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("WorkloadNames missing %s", want)
+		}
+	}
+}
+
+func TestSchedulerKindsList(t *testing.T) {
+	kinds := gpuwalk.SchedulerKinds()
+	if len(kinds) != 6 {
+		t.Errorf("SchedulerKinds = %v", kinds)
+	}
+}

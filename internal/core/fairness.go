@@ -1,0 +1,144 @@
+package core
+
+// CUFair is an extension beyond the paper. Section VI/VII of the paper
+// points at memory-controller QoS research (ATLAS, TCM, PAR-BS, DASH)
+// and explicitly leaves "different flavors of page walk scheduling for
+// both performance and QoS" as follow-on work. CUFair is one such
+// flavor: it keeps the SIMT-aware scheduler's same-instruction batching
+// (which protects per-instruction completion) and shortest-job-first
+// scoring, but arbitrates *across compute units* round-robin, so a CU
+// whose wavefronts issue translation-light instructions cannot
+// monopolize the walkers indefinitely.
+//
+// Selection order:
+//  1. starvation avoidance (as SIMT-aware);
+//  2. batching: the oldest pending request of the most recently
+//     scheduled instruction, to preserve batch integrity;
+//  3. fairness: the next CU after the last-served one (round-robin over
+//     CUs with pending requests), and within that CU the lowest-score
+//     request, oldest on ties.
+type CUFair struct {
+	AgingThreshold uint64
+
+	lastInstr InstrID
+	haveLast  bool
+	lastCU    int
+	served    bool // lastCU is only meaningful after the first pick
+
+	// Stats.
+	BatchHits  uint64
+	AgingPicks uint64
+	FairPicks  uint64
+}
+
+// KindCUFair names the fairness extension policy.
+const KindCUFair Kind = "cu-fair"
+
+// Name implements Scheduler.
+func (s *CUFair) Name() string { return string(KindCUFair) }
+
+// OnArrival implements Scheduler with the same instruction-score
+// maintenance as SIMT-aware (action 1-b of Figure 7).
+func (s *CUFair) OnArrival(r *Request, pending []*Request) {
+	prev := 0
+	for _, p := range pending {
+		if p != r && p.Instr == r.Instr {
+			prev = p.Score
+			break
+		}
+	}
+	score := prev + r.Est
+	for _, p := range pending {
+		if p.Instr == r.Instr {
+			p.Score = score
+		}
+	}
+}
+
+// Select implements Scheduler.
+func (s *CUFair) Select(pending []*Request) int {
+	// 1. Starvation avoidance.
+	if s.AgingThreshold > 0 {
+		best := -1
+		for i, p := range pending {
+			if p.passed >= s.AgingThreshold && (best == -1 || p.Seq < pending[best].Seq) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			s.AgingPicks++
+			return s.commit(pending, best)
+		}
+	}
+
+	// 2. Batch integrity.
+	if s.haveLast {
+		best := -1
+		for i, p := range pending {
+			if p.Instr == s.lastInstr && (best == -1 || p.Seq < pending[best].Seq) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			s.BatchHits++
+			return s.commit(pending, best)
+		}
+	}
+
+	// 3. Round-robin across CUs: the CU with the smallest index strictly
+	// greater than lastCU that has pending work, wrapping around.
+	cu := s.nextCU(pending)
+	best := -1
+	for i, p := range pending {
+		if p.CU != cu {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := pending[best]
+		if p.Score < b.Score || (p.Score == b.Score && p.Seq < b.Seq) {
+			best = i
+		}
+	}
+	s.FairPicks++
+	return s.commit(pending, best)
+}
+
+// nextCU picks the round-robin successor of lastCU among CUs that have
+// pending requests.
+func (s *CUFair) nextCU(pending []*Request) int {
+	last := s.lastCU
+	if !s.served {
+		last = -1
+	}
+	bestWrap, bestAbove := -1, -1
+	for _, p := range pending {
+		if p.CU > last {
+			if bestAbove == -1 || p.CU < bestAbove {
+				bestAbove = p.CU
+			}
+		} else if bestWrap == -1 || p.CU < bestWrap {
+			bestWrap = p.CU
+		}
+	}
+	if bestAbove >= 0 {
+		return bestAbove
+	}
+	return bestWrap
+}
+
+func (s *CUFair) commit(pending []*Request, idx int) int {
+	chosen := pending[idx]
+	s.lastInstr = chosen.Instr
+	s.haveLast = true
+	s.lastCU = chosen.CU
+	s.served = true
+	for _, p := range pending {
+		if p.Seq < chosen.Seq {
+			p.passed++
+		}
+	}
+	return idx
+}

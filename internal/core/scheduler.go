@@ -1,0 +1,285 @@
+// Package core implements the paper's primary contribution: scheduling
+// policies for the IOMMU's pending page-table-walk buffer, including the
+// SIMT-aware scheduler of Shin et al. (ISCA 2018).
+//
+// The IOMMU (internal/iommu) owns the pending buffer and the walkers; it
+// consults a Scheduler at the two points the paper identifies (Figure 7):
+//
+//  1. when a new walk request arrives and no walker is free, the request
+//     is scored (OnArrival), and
+//  2. when a walker becomes free, the scheduler picks which pending
+//     request to service next (Select).
+package core
+
+import (
+	"fmt"
+
+	"gpuwalk/internal/sim"
+	"gpuwalk/internal/xrand"
+)
+
+// InstrID uniquely identifies one dynamic SIMD memory instruction. The
+// paper attaches a 20-bit instruction ID to each walk request; we use 64
+// bits since the simulator never recycles IDs.
+type InstrID uint64
+
+// Request is one pending page-table-walk request in the IOMMU buffer.
+type Request struct {
+	VPN       uint64    // virtual page number to translate
+	Instr     InstrID   // issuing SIMD instruction
+	Wavefront uint64    // issuing wavefront (for stats)
+	CU        int       // issuing compute unit (for stats)
+	Seq       uint64    // arrival order at the IOMMU buffer (FIFO ties)
+	Arrive    sim.Cycle // arrival cycle at the IOMMU buffer
+
+	// Est is this request's own PWC-probe estimate of walk memory
+	// accesses (1..4), set by the IOMMU on arrival (action 1-a).
+	Est int
+	// Score estimates the total memory accesses needed to service all
+	// pending walks of the issuing instruction (action 1-b). Shared by
+	// every pending request of that instruction.
+	Score int
+
+	// passed counts younger requests scheduled past this one (aging).
+	passed uint64
+}
+
+// Scheduler selects the order in which pending walk requests are
+// serviced. Implementations are not safe for concurrent use; the
+// simulator is single-threaded per system.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// OnArrival is called after r has been appended to pending (so
+	// pending includes r). Policies that score requests update state
+	// here.
+	OnArrival(r *Request, pending []*Request)
+	// Select returns the index within pending of the request to service
+	// next. It is only called with a non-empty pending slice. The IOMMU
+	// removes the request after Select returns.
+	Select(pending []*Request) int
+}
+
+// Kind names a built-in scheduling policy.
+type Kind string
+
+// Built-in policies.
+const (
+	KindFCFS      Kind = "fcfs"       // baseline: first-come-first-serve
+	KindRandom    Kind = "random"     // naive random (the paper's strawman)
+	KindSJF       Kind = "sjf"        // shortest-job-first only (ablation)
+	KindBatch     Kind = "batch"      // same-instruction batching only (ablation)
+	KindSIMTAware Kind = "simt-aware" // full proposal: SJF + batching + aging
+)
+
+// Kinds lists all built-in policies, including the CU-fair QoS
+// extension (see fairness.go).
+func Kinds() []Kind {
+	return []Kind{KindFCFS, KindRandom, KindSJF, KindBatch, KindSIMTAware, KindCUFair}
+}
+
+// Options configures scheduler construction.
+type Options struct {
+	// Seed drives the Random policy; ignored by deterministic policies.
+	Seed uint64
+	// AgingThreshold is the number of younger requests that may be
+	// scheduled past a pending request before it is force-prioritized.
+	// The paper uses two million on full-length gem5 runs; scaled runs
+	// use a proportionally smaller default. Zero means DefaultAging.
+	AgingThreshold uint64
+}
+
+// DefaultAging is the default starvation threshold for scaled runs.
+const DefaultAging = 1 << 20
+
+// New constructs a built-in scheduler.
+func New(kind Kind, opt Options) (Scheduler, error) {
+	aging := opt.AgingThreshold
+	if aging == 0 {
+		aging = DefaultAging
+	}
+	switch kind {
+	case KindFCFS:
+		return FCFS{}, nil
+	case KindRandom:
+		return NewRandom(opt.Seed), nil
+	case KindSJF:
+		return &SIMTAware{SJF: true, AgingThreshold: aging, name: string(KindSJF)}, nil
+	case KindBatch:
+		return &SIMTAware{Batching: true, AgingThreshold: aging, name: string(KindBatch)}, nil
+	case KindSIMTAware:
+		return &SIMTAware{SJF: true, Batching: true, AgingThreshold: aging, name: string(KindSIMTAware)}, nil
+	case KindCUFair:
+		return &CUFair{AgingThreshold: aging}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler kind %q", kind)
+	}
+}
+
+// FCFS services requests strictly in arrival order (the paper's
+// baseline). The zero value is ready to use.
+type FCFS struct{}
+
+// Name implements Scheduler.
+func (FCFS) Name() string { return string(KindFCFS) }
+
+// OnArrival implements Scheduler; FCFS keeps no state.
+func (FCFS) OnArrival(*Request, []*Request) {}
+
+// Select implements Scheduler: the oldest pending request. The IOMMU
+// keeps pending in arrival order, so that is index 0.
+func (FCFS) Select(pending []*Request) int {
+	best := 0
+	for i := 1; i < len(pending); i++ {
+		if pending[i].Seq < pending[best].Seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// Random picks a uniformly random pending request — the paper's
+// cautionary strawman, which slows irregular applications by ~26%.
+type Random struct {
+	rng *xrand.Rand
+}
+
+// NewRandom returns a Random scheduler with a deterministic seed.
+func NewRandom(seed uint64) *Random { return &Random{rng: xrand.New(seed)} }
+
+// Name implements Scheduler.
+func (*Random) Name() string { return string(KindRandom) }
+
+// OnArrival implements Scheduler; Random keeps no per-request state.
+func (*Random) OnArrival(*Request, []*Request) {}
+
+// Select implements Scheduler.
+func (r *Random) Select(pending []*Request) int {
+	return r.rng.Intn(len(pending))
+}
+
+// SIMTAware is the paper's scheduler. With both SJF and Batching set it
+// is the full proposal; with only one set it is the corresponding
+// ablation.
+//
+// Scoring (OnArrival): the new request's PWC estimate is added to the
+// running score of its instruction, and every pending request of that
+// instruction (including the new one) is updated to the new total.
+//
+// Selection (Select), in priority order:
+//  1. starvation: a request passed by AgingThreshold younger requests
+//     (oldest first);
+//  2. batching: the oldest pending request of the most recently
+//     scheduled instruction;
+//  3. shortest-job-first: the lowest-score request (oldest on ties);
+//     without SJF, the oldest request.
+type SIMTAware struct {
+	SJF            bool
+	Batching       bool
+	AgingThreshold uint64
+
+	name      string
+	lastInstr InstrID
+	haveLast  bool
+
+	// Stats.
+	BatchHits  uint64 // selections made by the batching rule
+	SJFPicks   uint64 // selections made by the score rule
+	AgingPicks uint64 // selections forced by starvation avoidance
+	Rescores   uint64 // OnArrival same-instruction score updates
+}
+
+// Name implements Scheduler.
+func (s *SIMTAware) Name() string {
+	if s.name != "" {
+		return s.name
+	}
+	return string(KindSIMTAware)
+}
+
+// OnArrival implements Scheduler: action 1-a happened in the IOMMU
+// (r.Est is set from the PWC probe); this is action 1-b, the scan that
+// folds the estimate into the instruction's shared score.
+func (s *SIMTAware) OnArrival(r *Request, pending []*Request) {
+	prev := 0
+	for _, p := range pending {
+		if p != r && p.Instr == r.Instr {
+			prev = p.Score
+			break
+		}
+	}
+	score := prev + r.Est
+	for _, p := range pending {
+		if p.Instr == r.Instr {
+			if p != r && p.Score != score {
+				s.Rescores++
+			}
+			p.Score = score
+		}
+	}
+}
+
+// Select implements Scheduler (action 2-a).
+func (s *SIMTAware) Select(pending []*Request) int {
+	best := -1
+	pick := func(i int) { best = i }
+
+	// 1. Starvation avoidance.
+	if s.AgingThreshold > 0 {
+		for i, p := range pending {
+			if p.passed >= s.AgingThreshold &&
+				(best == -1 || p.Seq < pending[best].Seq) {
+				pick(i)
+			}
+		}
+		if best >= 0 {
+			s.AgingPicks++
+			return s.commit(pending, best)
+		}
+	}
+
+	// 2. Batching: continue the most recently scheduled instruction.
+	if s.Batching && s.haveLast {
+		for i, p := range pending {
+			if p.Instr == s.lastInstr &&
+				(best == -1 || p.Seq < pending[best].Seq) {
+				pick(i)
+			}
+		}
+		if best >= 0 {
+			s.BatchHits++
+			return s.commit(pending, best)
+		}
+	}
+
+	// 3. Shortest-job-first by score, oldest on ties; or pure FCFS.
+	best = 0
+	for i := 1; i < len(pending); i++ {
+		p, b := pending[i], pending[best]
+		if s.SJF {
+			if p.Score < b.Score || (p.Score == b.Score && p.Seq < b.Seq) {
+				best = i
+			}
+		} else if p.Seq < b.Seq {
+			best = i
+		}
+	}
+	if s.SJF {
+		s.SJFPicks++
+	}
+	return s.commit(pending, best)
+}
+
+// commit finalizes a selection: remembers the instruction for batching
+// and ages every request older than the one chosen.
+func (s *SIMTAware) commit(pending []*Request, idx int) int {
+	chosen := pending[idx]
+	s.lastInstr = chosen.Instr
+	s.haveLast = true
+	for _, p := range pending {
+		if p.Seq < chosen.Seq {
+			p.passed++
+		}
+	}
+	return idx
+}

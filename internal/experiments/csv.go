@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV writes header + rows to dir/name.csv, creating dir if needed.
+func WriteCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// Fig2CSV converts Figure 2 rows for WriteCSV.
+func Fig2CSV(rows []Fig2Row) (header []string, out [][]string) {
+	header = []string{"workload", "random", "fcfs", "simt_aware"}
+	for _, r := range rows {
+		out = append(out, []string{r.Workload, ftoa(r.Random), ftoa(r.FCFS), ftoa(r.SIMTAware)})
+	}
+	return header, out
+}
+
+// Fig3CSV converts Figure 3 rows for WriteCSV.
+func Fig3CSV(rows []Fig3Row) (header []string, out [][]string) {
+	header = []string{"workload"}
+	if len(rows) > 0 {
+		header = append(header, rows[0].Buckets...)
+	}
+	for _, r := range rows {
+		cells := []string{r.Workload}
+		for _, f := range r.Fractions {
+			cells = append(cells, ftoa(f))
+		}
+		out = append(out, cells)
+	}
+	return header, out
+}
+
+// RatioCSV converts a Figures 8-12 style row set for WriteCSV.
+func RatioCSV(column string, rows []RatioRow) (header []string, out [][]string) {
+	header = []string{"workload", "irregular", column}
+	for _, r := range rows {
+		out = append(out, []string{r.Workload, fmt.Sprint(r.Irregular), ftoa(r.Value)})
+	}
+	return header, out
+}
+
+// SensitivityCSV converts Figure 13/14 rows for WriteCSV.
+func SensitivityCSV(rows []SensitivityRow) (header []string, out [][]string) {
+	header = []string{"variant", "workload", "speedup"}
+	for _, r := range rows {
+		out = append(out, []string{r.Variant, r.Workload, ftoa(r.Speedup)})
+	}
+	return header, out
+}

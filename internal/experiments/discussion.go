@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"io"
+
+	"gpuwalk/internal/core"
+	"gpuwalk/internal/gpu"
+)
+
+// LargePageRow quantifies the paper's Section VI discussion ("Why not
+// large pages?") for one workload: what 2 MB pages buy on their own,
+// and whether SIMT-aware scheduling still helps on top of them.
+type LargePageRow struct {
+	Workload string
+	// Walks4K / Walks2M are page-walk counts under FCFS with 4 KB and
+	// 2 MB pages.
+	Walks4K uint64
+	Walks2M uint64
+	// Speedup2M is FCFS-4K cycles over FCFS-2M cycles: the benefit of
+	// large pages alone.
+	Speedup2M float64
+	// SchedOn2M is the SIMT-aware speedup over FCFS with 2 MB pages:
+	// how much room scheduling still has once large pages are in place.
+	SchedOn2M float64
+}
+
+func withLargePages() func(*gpu.Params) {
+	return func(p *gpu.Params) { p.GPU.PageBits = 21 }
+}
+
+// LargePages runs the Section VI comparison over the irregular
+// workloads.
+func (s *Suite) LargePages() ([]LargePageRow, error) {
+	var rows []LargePageRow
+	for _, wl := range IrregularWorkloads {
+		base4k, err := s.Baseline(wl, core.KindFCFS)
+		if err != nil {
+			return nil, err
+		}
+		fcfs2m, err := s.Run(wl, core.KindFCFS, "2MB", withLargePages())
+		if err != nil {
+			return nil, err
+		}
+		simt2m, err := s.Run(wl, core.KindSIMTAware, "2MB", withLargePages())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LargePageRow{
+			Workload:  wl,
+			Walks4K:   base4k.IOMMU.WalksDone,
+			Walks2M:   fcfs2m.IOMMU.WalksDone,
+			Speedup2M: float64(base4k.Cycles) / float64(fcfs2m.Cycles),
+			SchedOn2M: float64(fcfs2m.Cycles) / float64(simt2m.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// PrintLargePages renders the Section VI comparison.
+func PrintLargePages(w io.Writer, rows []LargePageRow) {
+	var out [][]string
+	var sp2m, sched []float64
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Workload,
+			f3(float64(r.Walks4K)),
+			f3(float64(r.Walks2M)),
+			f3(r.Speedup2M),
+			f3(r.SchedOn2M),
+		})
+		sp2m = append(sp2m, r.Speedup2M)
+		sched = append(sched, r.SchedOn2M)
+	}
+	out = append(out, []string{"Mean", "", "", f3(GeoMean(sp2m)), f3(GeoMean(sched))})
+	printTable(w, "Section VI discussion: 2MB large pages vs 4KB base pages (irregular workloads)",
+		[]string{"workload", "walks-4K", "walks-2M", "2M speedup", "simt-on-2M"}, out)
+}

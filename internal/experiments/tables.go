@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gpuwalk/internal/dram"
+	"gpuwalk/internal/gpu"
+	"gpuwalk/internal/iommu"
+	"gpuwalk/internal/workload"
+)
+
+// PrintTable1 renders the Table I baseline system configuration as the
+// simulator implements it.
+func PrintTable1(w io.Writer) {
+	g := gpu.DefaultConfig()
+	io2 := iommu.DefaultConfig()
+	d := dram.DefaultConfig()
+	rows := [][]string{
+		{"GPU", fmt.Sprintf("%d CUs, %d SIMD per CU, %d threads per wavefront",
+			g.CUs, g.SIMDPerCU, g.WavefrontWidth)},
+		{"L1 Data Cache", fmt.Sprintf("%dKB, %d-way, %dB block (per CU)",
+			g.L1Cache.SizeBytes>>10, g.L1Cache.Ways, g.L1Cache.LineBytes)},
+		{"L2 Data Cache", fmt.Sprintf("%dMB, %d-way, %dB block (shared)",
+			g.L2Cache.SizeBytes>>20, g.L2Cache.Ways, g.L2Cache.LineBytes)},
+		{"L1 TLB", fmt.Sprintf("%d entries, fully-associative (per CU)", g.L1TLBEntries)},
+		{"L2 TLB", fmt.Sprintf("%d entries, %d-way set associative (shared)",
+			g.L2TLBEntries, g.L2TLBWays)},
+		{"IOMMU", fmt.Sprintf("%d buffer entries, %d page table walkers, %d/%d entries L1/L2 TLB, FCFS baseline",
+			io2.BufferEntries, io2.Walkers, io2.L1TLBEntries, io2.L2TLBEntries)},
+		{"PWC", fmt.Sprintf("%d entries x %d levels, %d-way, counter guard %v",
+			io2.PWC.EntriesPerLevel, 3, io2.PWC.Ways, io2.PWC.CounterGuard)},
+		{"DRAM", fmt.Sprintf("%d channels, %d ranks per channel, %d banks per rank (DDR3-1600 timing)",
+			d.Channels, d.RanksPerChan, d.BanksPerRank)},
+	}
+	printTable(w, "Table I: baseline system configuration", []string{"component", "configuration"}, rows)
+}
+
+// Table2Row describes one benchmark.
+type Table2Row struct {
+	Abbrev      string
+	Name        string
+	Description string
+	Irregular   bool
+	FootprintMB float64
+}
+
+// Table2 returns the benchmark inventory.
+func Table2() []Table2Row {
+	var rows []Table2Row
+	for _, g := range workload.Registry() {
+		rows = append(rows, Table2Row{
+			Abbrev:      g.Abbrev,
+			Name:        g.Name,
+			Description: g.Description,
+			Irregular:   g.Irregular,
+			FootprintMB: float64(g.BaseFootprint) / (1024 * 1024),
+		})
+	}
+	return rows
+}
+
+// PrintTable2 renders Table II.
+func PrintTable2(w io.Writer) {
+	var out [][]string
+	for _, r := range Table2() {
+		kind := "regular"
+		if r.Irregular {
+			kind = "irregular"
+		}
+		out = append(out, []string{r.Abbrev, r.Name, kind,
+			fmt.Sprintf("%.2fMB", r.FootprintMB), r.Description})
+	}
+	printTable(w, "Table II: GPU benchmarks", []string{"abbrev", "name", "class", "footprint", "description"}, out)
+}

@@ -1,0 +1,24 @@
+package gpu
+
+// coalesce reduces a SIMD instruction's per-lane virtual addresses to
+// the unique pages (for translation) and unique cache lines (for data),
+// mirroring the hardware coalescer described in Section II. Order is
+// first-occurrence order, which keeps runs deterministic.
+func coalesce(lanes []uint64, pageBits uint, lineBytes uint64) (pages []uint64, lines []uint64) {
+	seenPage := make(map[uint64]struct{}, len(lanes))
+	seenLine := make(map[uint64]struct{}, len(lanes))
+	lineMask := ^(lineBytes - 1)
+	for _, va := range lanes {
+		vpn := va >> pageBits
+		if _, ok := seenPage[vpn]; !ok {
+			seenPage[vpn] = struct{}{}
+			pages = append(pages, vpn)
+		}
+		la := va & lineMask
+		if _, ok := seenLine[la]; !ok {
+			seenLine[la] = struct{}{}
+			lines = append(lines, la)
+		}
+	}
+	return pages, lines
+}

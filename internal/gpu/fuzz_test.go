@@ -1,0 +1,120 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpuwalk/internal/core"
+	"gpuwalk/internal/workload"
+	"gpuwalk/internal/xrand"
+)
+
+// randomTrace builds a structurally-valid random trace: arbitrary lane
+// counts, page spreads, and write mixes. It exercises paths the curated
+// generators never hit (single-lane wavefronts, huge strides, repeated
+// addresses).
+func randomTrace(seed uint64, cus int) *workload.Trace {
+	rng := xrand.New(seed)
+	tr := &workload.Trace{Name: "fuzz", Footprint: 1 << 20}
+	nWf := 2 + rng.Intn(6)
+	for wf := 0; wf < nWf; wf++ {
+		wt := workload.WavefrontTrace{CU: rng.Intn(cus)}
+		nInstr := 1 + rng.Intn(6)
+		for i := 0; i < nInstr; i++ {
+			nLanes := 1 + rng.Intn(32)
+			lanes := make([]uint64, nLanes)
+			base := rng.Uint64n(1 << 34)
+			for l := range lanes {
+				switch rng.Intn(3) {
+				case 0: // coalesced
+					lanes[l] = base + uint64(l)*4
+				case 1: // strided across pages
+					lanes[l] = base + uint64(l)<<uint(12+rng.Intn(4))
+				default: // random
+					lanes[l] = rng.Uint64n(1 << 34)
+				}
+			}
+			wt.Instrs = append(wt.Instrs, workload.MemInstr{
+				Lanes: lanes,
+				Write: rng.Intn(4) == 0,
+			})
+		}
+		tr.Wavefronts = append(tr.Wavefronts, wt)
+	}
+	return tr
+}
+
+// TestFuzzRandomTracesComplete runs random traces under every scheduler
+// and page size: the invariant is that every instruction completes (no
+// deadlock, no lost callbacks) and the run is deterministic.
+func TestFuzzRandomTracesComplete(t *testing.T) {
+	kinds := core.Kinds()
+	for seed := uint64(1); seed <= 20; seed++ {
+		tr := randomTrace(seed, 2)
+		kind := kinds[int(seed)%len(kinds)]
+		pageBits := uint(12)
+		if seed%3 == 0 {
+			pageBits = 21
+		}
+		p := tinyParams()
+		p.SchedKind = kind
+		p.GPU.PageBits = pageBits
+		p.SchedOpts = core.Options{Seed: seed}
+
+		run := func() Result {
+			sys, err := NewSystem(p, tr)
+			if err != nil {
+				t.Fatalf("seed %d (%s): %v", seed, kind, err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatalf("seed %d (%s): %v", seed, kind, err)
+			}
+			return res
+		}
+		a := run()
+		if a.Instructions != uint64(tr.Instructions()) {
+			t.Fatalf("seed %d (%s): %d of %d instructions completed",
+				seed, kind, a.Instructions, tr.Instructions())
+		}
+		b := run()
+		if a.Cycles != b.Cycles {
+			t.Fatalf("seed %d (%s): nondeterministic (%d vs %d cycles)",
+				seed, kind, a.Cycles, b.Cycles)
+		}
+	}
+}
+
+// TestFuzzWalkConservation checks accounting invariants across random
+// runs: every walk started finishes, every translation is replied to,
+// and the per-walk access histogram sums to the walk count.
+func TestFuzzWalkConservation(t *testing.T) {
+	for seed := uint64(50); seed < 62; seed++ {
+		tr := randomTrace(seed, 2)
+		p := tinyParams()
+		p.SchedKind = core.KindSIMTAware
+		sys, err := NewSystem(p, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		io := res.IOMMU
+		if io.WalksStarted != io.WalksDone {
+			t.Errorf("seed %d: %d walks started, %d done", seed, io.WalksStarted, io.WalksDone)
+		}
+		var histSum uint64
+		for _, c := range io.WalkAccessHist {
+			histSum += c
+		}
+		if histSum != io.WalksDone {
+			t.Errorf("seed %d: access histogram sums to %d, walks %d", seed, histSum, io.WalksDone)
+		}
+		// GPU L2 TLB misses equal IOMMU requests.
+		if res.GPUL2TLB.Lookups.Misses() != io.Requests {
+			t.Errorf("seed %d: %d L2 TLB misses but %d IOMMU requests",
+				seed, res.GPUL2TLB.Lookups.Misses(), io.Requests)
+		}
+	}
+}

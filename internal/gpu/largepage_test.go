@@ -1,0 +1,55 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpuwalk/internal/workload"
+)
+
+func TestLargePagesEndToEnd(t *testing.T) {
+	g, _ := workload.ByName("MVT")
+	tr := g.Generate(workload.GenConfig{CUs: 2, WavefrontsPerCU: 2, InstrsPerWavefront: 6, Seed: 4})
+	run := func(pageBits uint) Result {
+		p := tinyParams()
+		p.GPU.PageBits = pageBits
+		sys, err := NewSystem(p, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small := run(12)
+	large := run(21)
+	if large.Instructions != small.Instructions {
+		t.Fatalf("instruction counts differ: %d vs %d", large.Instructions, small.Instructions)
+	}
+	// 2MB pages collapse the divergent lanes' many 4KB pages into few
+	// regions: far fewer translations and walks.
+	if large.Translations >= small.Translations {
+		t.Errorf("2MB translations %d >= 4KB %d", large.Translations, small.Translations)
+	}
+	if large.IOMMU.WalksDone >= small.IOMMU.WalksDone {
+		t.Errorf("2MB walks %d >= 4KB %d", large.IOMMU.WalksDone, small.IOMMU.WalksDone)
+	}
+	// Walks of 2MB pages never need 4 accesses.
+	if large.IOMMU.WalkAccessHist[4] != 0 {
+		t.Errorf("2MB run recorded 4-access walks: %v", large.IOMMU.WalkAccessHist)
+	}
+	if large.Cycles >= small.Cycles {
+		t.Errorf("2MB run (%d cy) not faster than 4KB (%d cy) on an irregular app at scaled footprint",
+			large.Cycles, small.Cycles)
+	}
+}
+
+func TestPageBitsValidation(t *testing.T) {
+	p := tinyParams()
+	p.GPU.PageBits = 16
+	tr := tinyTrace(1, func(wf, i int) []uint64 { return []uint64{4096} })
+	if _, err := NewSystem(p, tr); err == nil {
+		t.Error("PageBits 16 accepted")
+	}
+}

@@ -1,0 +1,297 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuwalk/internal/cache"
+	"gpuwalk/internal/core"
+	"gpuwalk/internal/dram"
+	"gpuwalk/internal/iommu"
+	"gpuwalk/internal/mmu"
+	"gpuwalk/internal/pwc"
+	"gpuwalk/internal/sim"
+	"gpuwalk/internal/stats"
+	"gpuwalk/internal/tlb"
+	"gpuwalk/internal/workload"
+)
+
+// System wires the full simulated machine together: CUs, GPU TLB and
+// cache hierarchies, the IOMMU with its scheduler, the page table, and
+// DRAM, then executes a workload trace to completion.
+type System struct {
+	cfg Config
+	eng *sim.Engine
+
+	mem       *dram.Memory
+	l2c       *cache.Cache
+	l2tlb     *tlb.TLB
+	l2tlbPort sim.Port
+	io        *iommu.IOMMU
+	as        *mmu.AddressSpace
+	cus       []*cu
+	epoch     *stats.EpochDistinct
+
+	trace *workload.Trace
+
+	instrSeq     uint64
+	instrsTotal  uint64
+	instrsDone   uint64
+	translations uint64 // coalesced page-translation requests issued
+
+	xlateOut    int // outstanding L2 TLB misses at the IOMMU
+	xlateParked []parkedXlate
+
+	// Per-app accounting for multi-tenant traces.
+	appRemaining []uint64
+	appFinish    []sim.Cycle
+}
+
+// Params collects everything needed to build a System.
+type Params struct {
+	GPU   Config
+	DRAM  dram.Config
+	IOMMU iommu.Config
+	// SchedKind selects a built-in page-walk scheduler. Ignored when
+	// Scheduler is non-nil.
+	SchedKind core.Kind
+	SchedOpts core.Options
+	// Scheduler, when non-nil, is used directly (custom policies).
+	Scheduler core.Scheduler
+	// PhysBytes sizes simulated physical memory; 0 derives it from the
+	// trace footprint (4x footprint + 256 MB headroom for page tables).
+	PhysBytes uint64
+	// Seed drives frame-allocation randomization.
+	Seed uint64
+}
+
+// DefaultParams returns the full Table I baseline.
+func DefaultParams() Params {
+	return Params{
+		GPU:       DefaultConfig(),
+		DRAM:      dram.DefaultConfig(),
+		IOMMU:     iommu.DefaultConfig(),
+		SchedKind: core.KindFCFS,
+	}
+}
+
+// NewSystem builds a system for the given trace.
+func NewSystem(p Params, tr *workload.Trace) (*System, error) {
+	if err := p.GPU.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.DRAM.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.IOMMU.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(p.GPU.CUs); err != nil {
+		return nil, err
+	}
+	sched := p.Scheduler
+	if sched == nil {
+		var err error
+		sched, err = core.New(p.SchedKind, p.SchedOpts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	eng := sim.NewEngine()
+	s := &System{
+		cfg:   p.GPU,
+		eng:   eng,
+		trace: tr,
+		epoch: stats.NewEpochDistinct(p.GPU.EpochLen),
+	}
+	s.l2tlbPort.Cycles = p.GPU.L2TLBPort
+
+	// OS substrate: physical memory, frame allocator, page table; premap
+	// every page the trace touches (the paper does not model demand
+	// paging).
+	phys := p.PhysBytes
+	if phys == 0 {
+		phys = 4*tr.Footprint + 256<<20
+		if p.GPU.PageBits >= mmu.LargePageBits {
+			// Every touched 2 MB region consumes a full huge page of
+			// physical memory; size generously (storage is sparse).
+			phys = 64 << 30
+		}
+	}
+	pm := mmu.NewPhysMem(phys)
+	alloc := mmu.NewAllocator(pm, p.Seed^0x9e3779b97f4a7c15)
+	s.as = mmu.NewAddressSpace(pm, alloc)
+	if p.GPU.PageBits >= mmu.LargePageBits {
+		s.as.PageBits = mmu.LargePageBits
+	}
+	// Premap in sorted VPN order so frame placement — and with it DRAM
+	// timing — is identical across runs of the same trace and seed.
+	pages := tr.TouchedPages(p.GPU.PageBits)
+	vpns := make([]uint64, 0, len(pages))
+	for vpn := range pages {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, vpn := range vpns {
+		if _, err := s.as.Ensure(vpn << p.GPU.PageBits); err != nil {
+			return nil, err
+		}
+	}
+
+	s.mem = dram.New(eng, p.DRAM)
+	s.l2c = cache.New(eng, p.GPU.L2Cache, s.mem.Access)
+	s.l2tlb = tlb.New(tlb.Config{Name: "gpu-l2tlb", Entries: p.GPU.L2TLBEntries, Ways: p.GPU.L2TLBWays, Repl: p.GPU.TLBRepl})
+	// Page-walk reads are translation-critical: they go to DRAM with
+	// controller priority over ordinary data traffic. The IOMMU
+	// translates at the same granularity the GPU coalesces at.
+	ioCfg := p.IOMMU
+	ioCfg.PageBits = p.GPU.PageBits
+	s.io = iommu.New(eng, ioCfg, sched, s.as.PT, s.mem.AccessPrio)
+
+	s.cus = make([]*cu, p.GPU.CUs)
+	for i := range s.cus {
+		s.cus[i] = newCU(s, i)
+	}
+	s.appRemaining = make([]uint64, tr.AppCount())
+	s.appFinish = make([]sim.Cycle, tr.AppCount())
+	for wi := range tr.Wavefronts {
+		wt := &tr.Wavefronts[wi]
+		if len(wt.Instrs) == 0 {
+			continue
+		}
+		w := &wavefront{cu: s.cus[wt.CU], gid: uint64(wi), app: wt.App, instrs: wt.Instrs}
+		s.cus[wt.CU].pending = append(s.cus[wt.CU].pending, w)
+		s.instrsTotal += uint64(len(wt.Instrs))
+		s.appRemaining[wt.App] += uint64(len(wt.Instrs))
+	}
+	return s, nil
+}
+
+// noteInstrDone records one completed instruction for app accounting.
+func (s *System) noteInstrDone(app int) {
+	s.instrsDone++
+	s.appRemaining[app]--
+	if s.appRemaining[app] == 0 {
+		s.appFinish[app] = s.eng.Now()
+	}
+}
+
+// Engine exposes the simulation engine (tests and tools).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// IOMMU exposes the IOMMU model (tests and tools).
+func (s *System) IOMMU() *iommu.IOMMU { return s.io }
+
+// Run executes the workload to completion and returns the results.
+func (s *System) Run() (Result, error) {
+	for _, c := range s.cus {
+		c.start()
+	}
+	s.eng.Run()
+	if s.instrsDone != s.instrsTotal {
+		return Result{}, fmt.Errorf("gpu: deadlock — %d of %d instructions completed at cycle %d",
+			s.instrsDone, s.instrsTotal, s.eng.Now())
+	}
+	return s.collect(), nil
+}
+
+// Result is everything the experiments read out of one run.
+type Result struct {
+	Workload  string
+	Scheduler string
+
+	Cycles       uint64
+	StallCycles  uint64 // summed across CUs
+	Instructions uint64
+	Translations uint64 // coalesced page-translation requests
+
+	// PerCUStall holds each CU's stall cycles, for fairness analysis
+	// (e.g. Jain's index across CUs).
+	PerCUStall []uint64
+
+	// PerApp reports each co-running application's completion in a
+	// multi-tenant trace (one entry, matching the run, otherwise).
+	PerApp []AppResult
+
+	GPUL1TLB tlb.Stats // aggregated over CUs
+	GPUL2TLB tlb.Stats
+	// EpochMeanWavefronts is the Fig 12 metric: mean distinct wavefronts
+	// accessing the GPU L2 TLB per epoch.
+	EpochMeanWavefronts float64
+
+	IOMMU      iommu.Stats
+	IOMMUL1TLB tlb.Stats
+	IOMMUL2TLB tlb.Stats
+	PWC        pwc.Stats
+	Instr      iommu.InstrSummary
+
+	L1D  cache.Stats // aggregated over CUs
+	L2D  cache.Stats
+	DRAM dram.Stats
+}
+
+// AppResult is one application's share of a multi-tenant run.
+type AppResult struct {
+	Name string
+	// FinishCycle is when the app's last instruction completed.
+	FinishCycle uint64
+}
+
+// PageWalks returns the total number of serviced page-table walks.
+func (r *Result) PageWalks() uint64 { return r.IOMMU.WalksDone }
+
+func addTLB(dst *tlb.Stats, s tlb.Stats) {
+	dst.Lookups.Hits += s.Lookups.Hits
+	dst.Lookups.Total += s.Lookups.Total
+	dst.Fills += s.Fills
+	dst.Evictions += s.Evictions
+}
+
+func addCache(dst *cache.Stats, s cache.Stats) {
+	dst.Lookups.Hits += s.Lookups.Hits
+	dst.Lookups.Total += s.Lookups.Total
+	dst.Fills += s.Fills
+	dst.Evictions += s.Evictions
+	dst.Writebacks += s.Writebacks
+	dst.MSHRMerges += s.MSHRMerges
+	dst.MSHRStalls += s.MSHRStalls
+}
+
+func (s *System) collect() Result {
+	now := s.eng.Now()
+	s.io.FinishStats()
+	s.epoch.Finish()
+
+	r := Result{
+		Workload:            s.trace.Name,
+		Scheduler:           s.io.Scheduler().Name(),
+		Cycles:              uint64(now),
+		Instructions:        s.instrsDone,
+		Translations:        s.translations,
+		GPUL2TLB:            s.l2tlb.Stats(),
+		EpochMeanWavefronts: s.epoch.MeanDistinct(),
+		IOMMU:               s.io.Stats(),
+		PWC:                 s.io.PWCStats(),
+		Instr:               s.io.InstrSummary(),
+		L2D:                 s.l2c.Stats(),
+		DRAM:                s.mem.Stats(),
+	}
+	r.IOMMUL1TLB, r.IOMMUL2TLB = s.io.TLBStats()
+	for app := range s.appFinish {
+		name := s.trace.Name
+		if len(s.trace.Apps) > 0 {
+			name = s.trace.Apps[app]
+		}
+		r.PerApp = append(r.PerApp, AppResult{Name: name, FinishCycle: uint64(s.appFinish[app])})
+	}
+	for _, c := range s.cus {
+		c.computeInt.Finish(now)
+		stall := c.computeInt.ZeroCycles()
+		r.StallCycles += stall
+		r.PerCUStall = append(r.PerCUStall, stall)
+		addTLB(&r.GPUL1TLB, c.l1tlb.Stats())
+		addCache(&r.L1D, c.l1c.Stats())
+	}
+	return r
+}

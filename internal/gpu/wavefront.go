@@ -1,0 +1,347 @@
+package gpu
+
+import (
+	"gpuwalk/internal/cache"
+	"gpuwalk/internal/core"
+	"gpuwalk/internal/iommu"
+	"gpuwalk/internal/mmu"
+	"gpuwalk/internal/sim"
+	"gpuwalk/internal/tlb"
+	"gpuwalk/internal/workload"
+)
+
+// cu is one compute unit: private L1 TLB and L1 data cache, an issue
+// port shared by its SIMD units, and its resident wavefronts.
+type cu struct {
+	sys *System
+	id  int
+
+	l1tlb *tlb.TLB
+	l1c   *cache.Cache
+
+	// readyQ holds wavefronts whose compute phase ended, awaiting the
+	// 1-per-cycle issue slot; Config.WavefrontSched arbitrates.
+	readyQ    []*wavefront
+	tickArmed bool
+
+	pending []*wavefront // waiting for a residency slot
+	live    int          // activated, not yet retired
+
+	// lsuFree counts the CU's free load-store slots (one per SIMD
+	// unit). A memory instruction occupies a slot from issue until its
+	// address translations complete; instructions beyond the limit wait
+	// in lsuQueue. This bounds how many instructions per CU can have
+	// translation traffic in flight, as the real coalescer/LSU does.
+	lsuFree  int
+	lsuQueue []*instrExec
+
+	// computeInt tracks the number of wavefronts currently in their
+	// compute phase. While the CU has live wavefronts and this count is
+	// zero, every wavefront is blocked on memory: those are the paper's
+	// "stall cycles" (Figure 9).
+	computeInt sim.Integrator
+}
+
+func newCU(s *System, id int) *cu {
+	c := &cu{
+		sys:   s,
+		id:    id,
+		l1tlb: tlb.New(tlb.Config{Name: "gpu-l1tlb", Entries: s.cfg.L1TLBEntries, Repl: s.cfg.TLBRepl}),
+		// L1 misses go to the shared L2 cache.
+		l1c: cache.New(s.eng, s.cfg.L1Cache, s.l2c.Access),
+	}
+	c.lsuFree = s.cfg.SIMDPerCU
+	return c
+}
+
+// start activates up to WavefrontsPerCU resident wavefronts.
+func (c *cu) start() {
+	if len(c.pending) == 0 {
+		return
+	}
+	c.computeInt.Arm(c.sys.eng.Now())
+	n := c.sys.cfg.WavefrontsPerCU
+	for n > 0 && len(c.pending) > 0 {
+		c.activateNext()
+		n--
+	}
+}
+
+// activateNext moves the next pending wavefront into execution.
+func (c *cu) activateNext() {
+	w := c.pending[0]
+	c.pending = c.pending[1:]
+	c.live++
+	// Small deterministic stagger so wavefronts do not issue in
+	// lockstep on cycle 0.
+	stagger := w.gid % uint64(c.sys.cfg.WavefrontsPerCU)
+	w.enterCompute(c.sys.cfg.ComputeGap/4 + stagger)
+}
+
+// wavefrontRetired is called when a wavefront finishes its stream.
+func (c *cu) wavefrontRetired() {
+	c.live--
+	if len(c.pending) > 0 {
+		c.activateNext()
+		return
+	}
+	if c.live == 0 {
+		c.computeInt.Disarm(c.sys.eng.Now())
+	}
+}
+
+// wavefront executes one instruction stream in order: each memory
+// instruction must fully complete (all translations, then all data
+// accesses) before the next issues, matching SIMT lockstep semantics.
+type wavefront struct {
+	cu     *cu
+	gid    uint64
+	app    int
+	instrs []workload.MemInstr
+	pc     int
+}
+
+// enterCompute puts the wavefront in its compute phase for gap cycles,
+// then hands it to the CU's issue arbiter.
+func (w *wavefront) enterCompute(gap uint64) {
+	c := w.cu
+	eng := c.sys.eng
+	c.computeInt.Add(eng.Now(), 1)
+	eng.After(gap, func() { c.makeReady(w) })
+}
+
+// makeReady enqueues a compute-finished wavefront for issue and arms
+// the 1-per-cycle issue tick.
+func (c *cu) makeReady(w *wavefront) {
+	c.readyQ = append(c.readyQ, w)
+	if !c.tickArmed {
+		c.tickArmed = true
+		c.sys.eng.After(0, c.issueTick)
+	}
+}
+
+// issueTick issues one ready wavefront per cycle, arbitrated by the
+// configured wavefront scheduling policy.
+func (c *cu) issueTick() {
+	if len(c.readyQ) == 0 {
+		c.tickArmed = false
+		return
+	}
+	pick := 0
+	switch c.sys.cfg.WavefrontSched {
+	case WFOldest:
+		for i := 1; i < len(c.readyQ); i++ {
+			if c.readyQ[i].gid < c.readyQ[pick].gid {
+				pick = i
+			}
+		}
+	case WFYoungest:
+		for i := 1; i < len(c.readyQ); i++ {
+			if c.readyQ[i].gid > c.readyQ[pick].gid {
+				pick = i
+			}
+		}
+	default: // WFRoundRobin: ready (FIFO) order
+	}
+	w := c.readyQ[pick]
+	c.readyQ = append(c.readyQ[:pick], c.readyQ[pick+1:]...)
+	w.issue()
+	if len(c.readyQ) > 0 {
+		c.sys.eng.After(1, c.issueTick)
+	} else {
+		c.tickArmed = false
+	}
+}
+
+// issue leaves the compute phase and either retires the wavefront or
+// executes its next memory instruction.
+func (w *wavefront) issue() {
+	c := w.cu
+	c.computeInt.Add(c.sys.eng.Now(), -1)
+	if w.pc >= len(w.instrs) {
+		c.wavefrontRetired()
+		return
+	}
+	in := &w.instrs[w.pc]
+	w.pc++
+	c.execute(w, in)
+}
+
+// instrExec tracks one in-flight SIMD memory instruction: outstanding
+// page translations, then outstanding line accesses.
+type instrExec struct {
+	w     *wavefront
+	id    core.InstrID
+	write bool
+
+	pages        []uint64
+	pfns         map[uint64]uint64 // vpn -> pfn
+	pendingPages int
+	lines        []uint64
+	pendingLines int
+}
+
+// execute starts an instruction: coalesce lanes, then translate every
+// unique page (step 1-3 of the paper's request lifecycle).
+func (c *cu) execute(w *wavefront, in *workload.MemInstr) {
+	s := c.sys
+	s.instrSeq++
+	pages, lines := coalesce(in.Lanes, s.cfg.PageBits, s.cfg.L1Cache.LineBytes)
+	ex := &instrExec{
+		w:            w,
+		id:           core.InstrID(s.instrSeq),
+		write:        in.Write,
+		pages:        pages,
+		pfns:         make(map[uint64]uint64, len(pages)),
+		pendingPages: len(pages),
+		lines:        lines,
+		pendingLines: len(lines),
+	}
+	if c.lsuFree == 0 {
+		c.lsuQueue = append(c.lsuQueue, ex)
+		return
+	}
+	c.lsuFree--
+	c.beginTranslation(ex)
+}
+
+// beginTranslation starts an instruction's translation phase on an
+// acquired LSU slot.
+func (c *cu) beginTranslation(ex *instrExec) {
+	for _, vpn := range ex.pages {
+		c.translate(ex, vpn)
+	}
+}
+
+// lsuRelease frees an LSU slot and starts the next queued instruction.
+func (c *cu) lsuRelease() {
+	if len(c.lsuQueue) > 0 {
+		ex := c.lsuQueue[0]
+		c.lsuQueue = c.lsuQueue[1:]
+		c.beginTranslation(ex)
+		return
+	}
+	c.lsuFree++
+}
+
+// translate resolves one vpn through the GPU TLB hierarchy and, on a
+// full miss, the IOMMU.
+func (c *cu) translate(ex *instrExec, vpn uint64) {
+	s := c.sys
+	s.translations++
+	// A deterministic per-request jitter models MSHR allocation and
+	// fabric arbitration on the miss path. It staggers the requests of
+	// concurrently executing instructions so that independent streams
+	// interleave at the shared L2 TLB and the IOMMU — the interleaving
+	// the paper's Figure 5 measures — while keeping one instruction's
+	// requests clustered relative to walker service time.
+	jitter := uint64(0)
+	if s.cfg.TranslateJitter > 1 {
+		h := (vpn ^ uint64(ex.id)*0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+		jitter = (h >> 48) % s.cfg.TranslateJitter
+	}
+	s.eng.After(s.cfg.L1TLBLat+jitter, func() {
+		if pfn, ok := c.l1tlb.Lookup(vpn); ok {
+			ex.pageDone(vpn, pfn)
+			return
+		}
+		s.l2TLBAccess(c, ex, vpn)
+	})
+}
+
+// l2TLBAccess queues a lookup on the shared GPU L2 TLB.
+func (s *System) l2TLBAccess(c *cu, ex *instrExec, vpn uint64) {
+	at := s.l2tlbPort.Acquire(s.eng.Now())
+	s.eng.At(at+sim.Cycle(s.cfg.L2TLBLat), func() {
+		s.epoch.Access(ex.w.gid)
+		if pfn, ok := s.l2tlb.Lookup(vpn); ok {
+			c.l1tlb.Insert(vpn, pfn)
+			ex.pageDone(vpn, pfn)
+			return
+		}
+		s.sendToIOMMU(c, ex, vpn)
+	})
+}
+
+// parkedXlate is an L2 TLB miss waiting for a free miss register.
+type parkedXlate struct {
+	c   *cu
+	ex  *instrExec
+	vpn uint64
+}
+
+// sendToIOMMU forwards an L2 TLB miss to the IOMMU, respecting the
+// GPU-side outstanding-miss cap (Config.XlateMSHRs).
+func (s *System) sendToIOMMU(c *cu, ex *instrExec, vpn uint64) {
+	if s.cfg.XlateMSHRs > 0 && s.xlateOut >= s.cfg.XlateMSHRs {
+		s.xlateParked = append(s.xlateParked, parkedXlate{c: c, ex: ex, vpn: vpn})
+		return
+	}
+	s.xlateOut++
+	s.io.Translate(iommu.TranslateReq{
+		VPN:       vpn,
+		Instr:     ex.id,
+		Wavefront: ex.w.gid,
+		CU:        c.id,
+		Done: func(pfn uint64) {
+			s.l2tlb.Insert(vpn, pfn)
+			c.l1tlb.Insert(vpn, pfn)
+			s.xlateOut--
+			if len(s.xlateParked) > 0 {
+				p := s.xlateParked[0]
+				s.xlateParked = s.xlateParked[1:]
+				s.sendToIOMMU(p.c, p.ex, p.vpn)
+			}
+			ex.pageDone(vpn, pfn)
+		},
+	})
+}
+
+// pageDone records one completed translation; when the last page of the
+// instruction resolves, the data phase begins.
+func (ex *instrExec) pageDone(vpn, pfn uint64) {
+	ex.pfns[vpn] = pfn
+	ex.pendingPages--
+	if ex.pendingPages == 0 {
+		ex.w.cu.lsuRelease()
+		ex.dataPhase()
+	}
+}
+
+// dataPhase issues the instruction's unique-line accesses to the data
+// cache hierarchy using the translated physical addresses. The pfn is
+// always a 4 KB frame number — the first frame of the page for 2 MB
+// mappings, whose backing frames are physically contiguous — so the
+// physical address is pfn<<12 plus the offset within the page.
+func (ex *instrExec) dataPhase() {
+	c := ex.w.cu
+	pageBits := c.sys.cfg.PageBits
+	pageMask := uint64(1)<<pageBits - 1
+	for _, la := range ex.lines {
+		pfn := ex.pfns[la>>pageBits]
+		pa := pfn<<mmu.PageBits | la&pageMask
+		c.accessLine(ex, pa)
+	}
+}
+
+// accessLine sends one line access to the L1 data cache, retrying if the
+// cache cannot accept it (MSHRs full).
+func (c *cu) accessLine(ex *instrExec, pa uint64) {
+	ok := c.l1c.Access(pa, ex.write, ex.lineDone)
+	if !ok {
+		c.sys.eng.After(c.sys.cfg.RetryDelay, func() { c.accessLine(ex, pa) })
+	}
+}
+
+// lineDone records one completed line access; when the last line
+// returns, the instruction completes and the wavefront re-enters its
+// compute phase.
+func (ex *instrExec) lineDone() {
+	ex.pendingLines--
+	if ex.pendingLines > 0 {
+		return
+	}
+	s := ex.w.cu.sys
+	s.noteInstrDone(ex.w.app)
+	ex.w.enterCompute(s.cfg.ComputeGap)
+}

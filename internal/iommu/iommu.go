@@ -1,0 +1,609 @@
+// Package iommu models the IOMMU of an HSA-style heterogeneous system:
+// the unit in the CPU complex that services the GPU's address-translation
+// requests. It contains two small TLB levels, a buffer of pending
+// page-table-walk requests, a pool of independent hardware page table
+// walkers, and the page walk caches (internal/pwc).
+//
+// The walk-request buffer is the scheduling point the paper studies: when
+// a walker becomes free, a core.Scheduler decides which pending request
+// it services next.
+package iommu
+
+import (
+	"fmt"
+
+	"gpuwalk/internal/core"
+	"gpuwalk/internal/mmu"
+	"gpuwalk/internal/pwc"
+	"gpuwalk/internal/sim"
+	"gpuwalk/internal/stats"
+	"gpuwalk/internal/tlb"
+)
+
+// Config describes the IOMMU.
+type Config struct {
+	L1TLBEntries int // small fully-associative IOMMU TLB
+	L2TLBEntries int
+	L2TLBWays    int
+
+	BufferEntries int // scheduler lookahead window (Table I: 256)
+	Walkers       int // concurrent page table walkers (Table I: 8)
+
+	TransferLat uint64 // GPU shared TLB -> IOMMU wire latency
+	TLBLat      uint64 // IOMMU TLB lookup latency
+	PWCLat      uint64 // PWC lookup latency at walk start
+	ReplyLat    uint64 // IOMMU -> GPU reply latency
+
+	PWC pwc.Config
+
+	// PageBits is the translation granularity the GPU requests at: 12
+	// (4 KB, default) or mmu.LargePageBits (2 MB, the paper's Section VI
+	// "why not large pages?" configuration). Request VPNs are virtual
+	// addresses shifted by PageBits; walks of 2 MB pages read three PTE
+	// levels instead of four.
+	PageBits uint
+
+	// PrefetchNext enables a simple next-page translation prefetcher
+	// (extension; the paper cites inter-core cooperative TLB
+	// prefetching as related work): when a walk for VPN completes and a
+	// walker plus buffer slack are free, the IOMMU walks VPN+1 in the
+	// background and installs it in its own TLBs. Prefetch walks never
+	// cascade and never displace demand walks.
+	PrefetchNext bool
+
+	// MergeSameVPN coalesces a newly arrived request onto an in-flight
+	// or pending walk of the same VPN instead of walking twice. The
+	// paper's hardware keeps duplicate requests distinct, so this
+	// defaults to false; it exists as an ablation.
+	MergeSameVPN bool
+
+	// RetryDelay is the backoff before retrying a DRAM access the
+	// memory controller rejected (full queue).
+	RetryDelay uint64
+
+	// RecordSchedule keeps a log of (walker, start, end, instruction)
+	// for every serviced walk, capped at RecordLimit entries. Used by
+	// the Figure 4 timeline demo and debugging; off by default.
+	RecordSchedule bool
+	// RecordLimit bounds the schedule log (0 = 4096).
+	RecordLimit int
+}
+
+// DefaultConfig returns the Table I baseline IOMMU.
+func DefaultConfig() Config {
+	return Config{
+		L1TLBEntries:  32,
+		L2TLBEntries:  256,
+		L2TLBWays:     8,
+		BufferEntries: 256,
+		Walkers:       8,
+		TransferLat:   50,
+		TLBLat:        4,
+		PWCLat:        4,
+		ReplyLat:      50,
+		PWC:           pwc.DefaultConfig(),
+		RetryDelay:    8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.BufferEntries <= 0:
+		return fmt.Errorf("iommu: BufferEntries must be positive, got %d", c.BufferEntries)
+	case c.Walkers <= 0:
+		return fmt.Errorf("iommu: Walkers must be positive, got %d", c.Walkers)
+	case c.L1TLBEntries <= 0 || c.L2TLBEntries <= 0:
+		return fmt.Errorf("iommu: TLB entry counts must be positive")
+	case c.PageBits != 0 && c.PageBits != mmu.PageBits && c.PageBits != mmu.LargePageBits:
+		return fmt.Errorf("iommu: PageBits must be %d or %d, got %d", mmu.PageBits, mmu.LargePageBits, c.PageBits)
+	}
+	return c.PWC.Validate()
+}
+
+// DRAMFn issues one memory read for a page-table entry; done runs at
+// completion. It reports false if the controller queue is full.
+type DRAMFn func(addr uint64, done func()) bool
+
+// TranslateReq is a translation request arriving from the GPU's shared
+// L2 TLB (a GPU-TLB-hierarchy miss).
+type TranslateReq struct {
+	VPN       uint64
+	Instr     core.InstrID
+	Wavefront uint64
+	CU        int
+	// Done receives the translated physical frame number.
+	Done func(pfn uint64)
+}
+
+// instrInfo aggregates per-SIMD-instruction walk behaviour for the
+// paper's Figures 3, 5, 6 and 10.
+type instrInfo struct {
+	walks         int // walk requests serviced
+	accesses      int // total page-table memory accesses
+	schedCount    uint64
+	firstSchedSeq uint64
+	lastSchedSeq  uint64
+	firstDoneLat  uint64 // latency of the earliest-completing walk
+	lastDoneLat   uint64 // latency of the latest-completing walk
+	completions   int
+}
+
+// Stats aggregates IOMMU activity.
+type Stats struct {
+	Requests       uint64 // translation requests received
+	Prefetches     uint64 // background next-page walks issued
+	PrefetchHits   uint64 // demand requests served by prefetched entries
+	L1Hits         uint64
+	L2Hits         uint64
+	WalksStarted   uint64
+	WalksDone      uint64
+	WalkAccessHist [mmu.Levels + 1]uint64 // index = accesses per walk (1..4)
+	Merged         uint64                 // requests coalesced onto an in-flight walk
+	BufferPeak     int
+	PreQueuePeak   int
+	WalkLatency    stats.Mean     // request arrival -> walk completion, cycles
+	WalkLatencyQ   stats.Quantile // same, as P50/P95/P99 quantiles
+	BufferWait     stats.Mean     // request arrival -> walk start, cycles
+}
+
+// InstrSummary is the per-instruction aggregate view used by the
+// experiment layer.
+type InstrSummary struct {
+	// AccessHist is the Figure 3 histogram: per instruction, the total
+	// number of page-table memory accesses its walks needed.
+	AccessHist *stats.Histogram
+	// Multi counts instructions with >= 2 walks (the Fig 5/6/10
+	// population); Interleaved counts those whose walks interleaved
+	// with another instruction's.
+	Multi       uint64
+	Interleaved uint64
+	// MeanFirstLat / MeanLastLat are the Fig 6 metrics over the Multi
+	// population: average latency of the first- and last-completed walk.
+	MeanFirstLat float64
+	MeanLastLat  float64
+}
+
+// IOMMU is the modeled unit.
+type IOMMU struct {
+	cfg   Config
+	eng   *sim.Engine
+	sched core.Scheduler
+	pt    *mmu.PageTable
+	dram  DRAMFn
+	pwc   *pwc.PWC
+
+	l1 *tlb.TLB
+	l2 *tlb.TLB
+
+	buffer   []*core.Request
+	preQueue []*core.Request // overflow beyond the scheduler window, FIFO
+	seq      uint64          // arrival sequence numbers
+	schedSeq uint64          // global service-order sequence
+
+	idleWalkers int
+	inflight    map[uint64][]*core.Request // VPN -> merged requests (MergeSameVPN)
+
+	doneFns map[*core.Request]func(pfn uint64)
+
+	// prefetchReqs marks in-flight background prefetch walks; prefetched
+	// tracks VPNs installed by the prefetcher until first demand use.
+	prefetchReqs map[*core.Request]struct{}
+	prefetched   map[uint64]struct{}
+
+	instrs map[core.InstrID]*instrInfo
+	stats  Stats
+
+	busyInt sim.Integrator // busy walkers over time
+
+	freeWalkers []int // walker identities, for the schedule log
+	walkStart   map[*core.Request]walkSlot
+	schedule    []WalkRecord
+}
+
+// walkSlot remembers which walker took a request and when.
+type walkSlot struct {
+	walker int
+	start  sim.Cycle
+}
+
+// WalkRecord is one serviced walk in the schedule log.
+type WalkRecord struct {
+	Walker int
+	Start  sim.Cycle
+	End    sim.Cycle
+	Instr  core.InstrID
+	VPN    uint64
+}
+
+// New builds an IOMMU. Panics on invalid config; use Config.Validate for
+// graceful checking.
+func New(eng *sim.Engine, cfg Config, sched core.Scheduler, pt *mmu.PageTable, dram DRAMFn) *IOMMU {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	io := &IOMMU{
+		cfg:          cfg,
+		eng:          eng,
+		sched:        sched,
+		pt:           pt,
+		dram:         dram,
+		pwc:          pwc.New(cfg.PWC),
+		l1:           tlb.New(tlb.Config{Name: "iommu-l1", Entries: cfg.L1TLBEntries}),
+		l2:           tlb.New(tlb.Config{Name: "iommu-l2", Entries: cfg.L2TLBEntries, Ways: cfg.L2TLBWays}),
+		idleWalkers:  cfg.Walkers,
+		inflight:     make(map[uint64][]*core.Request),
+		doneFns:      make(map[*core.Request]func(uint64)),
+		prefetchReqs: make(map[*core.Request]struct{}),
+		prefetched:   make(map[uint64]struct{}),
+		instrs:       make(map[core.InstrID]*instrInfo),
+		walkStart:    make(map[*core.Request]walkSlot),
+	}
+	for i := cfg.Walkers - 1; i >= 0; i-- {
+		io.freeWalkers = append(io.freeWalkers, i)
+	}
+	return io
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (io *IOMMU) Stats() Stats { return io.stats }
+
+// TLBStats returns the IOMMU L1 and L2 TLB statistics.
+func (io *IOMMU) TLBStats() (l1, l2 tlb.Stats) { return io.l1.Stats(), io.l2.Stats() }
+
+// PWCStats returns the page-walk-cache statistics.
+func (io *IOMMU) PWCStats() pwc.Stats { return io.pwc.Stats() }
+
+// Scheduler returns the scheduler in use.
+func (io *IOMMU) Scheduler() core.Scheduler { return io.sched }
+
+// BusyWalkerIntegral returns the time-integral of busy walkers, for
+// utilization reporting.
+func (io *IOMMU) BusyWalkerIntegral() uint64 { return io.busyInt.Total() }
+
+// FinishStats closes time integrators at the end of a run.
+func (io *IOMMU) FinishStats() { io.busyInt.Finish(io.eng.Now()) }
+
+// Pending returns buffered plus overflow requests (for tests).
+func (io *IOMMU) Pending() int { return len(io.buffer) + len(io.preQueue) }
+
+// ScheduleLog returns the recorded walk schedule (requires
+// Config.RecordSchedule).
+func (io *IOMMU) ScheduleLog() []WalkRecord { return io.schedule }
+
+// Translate accepts a translation request from the GPU. The flow follows
+// Section II-B's "life of a GPU address translation request", steps 5-9.
+func (io *IOMMU) Translate(req TranslateReq) {
+	io.stats.Requests++
+	io.eng.After(io.cfg.TransferLat+io.cfg.TLBLat, func() { io.lookupTLBs(req) })
+}
+
+func (io *IOMMU) lookupTLBs(req TranslateReq) {
+	if pfn, ok := io.l1.Lookup(req.VPN); ok {
+		io.stats.L1Hits++
+		io.notePrefetchUse(req.VPN)
+		io.reply(req.Done, pfn)
+		return
+	}
+	if pfn, ok := io.l2.Lookup(req.VPN); ok {
+		io.stats.L2Hits++
+		io.notePrefetchUse(req.VPN)
+		io.l1.Insert(req.VPN, pfn)
+		io.reply(req.Done, pfn)
+		return
+	}
+	io.enqueueWalk(req)
+}
+
+// notePrefetchUse credits the prefetcher when a demand request hits an
+// entry it installed.
+func (io *IOMMU) notePrefetchUse(vpn uint64) {
+	if _, ok := io.prefetched[vpn]; ok {
+		io.stats.PrefetchHits++
+		delete(io.prefetched, vpn)
+	}
+}
+
+func (io *IOMMU) reply(done func(uint64), pfn uint64) {
+	io.eng.After(io.cfg.ReplyLat, func() { done(pfn) })
+}
+
+// enqueueWalk turns a TLB-missing request into a pending walk request
+// (step 6) or starts it immediately on an idle walker (step 7 shortcut).
+func (io *IOMMU) enqueueWalk(req TranslateReq) {
+	if io.cfg.MergeSameVPN {
+		if lst, ok := io.inflight[req.VPN]; ok {
+			io.stats.Merged++
+			r := io.newRequest(req)
+			io.inflight[req.VPN] = append(lst, r)
+			return
+		}
+		// Also merge onto a pending (unstarted) walk of the same VPN.
+		for _, p := range io.buffer {
+			if p.VPN == req.VPN {
+				io.stats.Merged++
+				r := io.newRequest(req)
+				io.inflight[req.VPN] = append(io.inflight[req.VPN], r)
+				return
+			}
+		}
+	}
+	r := io.newRequest(req)
+	if io.idleWalkers > 0 {
+		io.startWalk(r)
+		return
+	}
+	if len(io.buffer) < io.cfg.BufferEntries {
+		io.admit(r)
+		return
+	}
+	io.preQueue = append(io.preQueue, r)
+	if len(io.preQueue) > io.stats.PreQueuePeak {
+		io.stats.PreQueuePeak = len(io.preQueue)
+	}
+}
+
+func (io *IOMMU) newRequest(req TranslateReq) *core.Request {
+	io.seq++
+	r := &core.Request{
+		VPN:       req.VPN,
+		Instr:     req.Instr,
+		Wavefront: req.Wavefront,
+		CU:        req.CU,
+		Seq:       io.seq,
+		Arrive:    io.eng.Now(),
+	}
+	io.doneFns[r] = req.Done
+	return r
+}
+
+// upperLevels returns how many page-table levels the PWC covers at the
+// configured page granularity.
+func (io *IOMMU) upperLevels() int {
+	if io.cfg.PageBits == mmu.LargePageBits {
+		return mmu.Levels - 2
+	}
+	return mmu.Levels - 1
+}
+
+// admit scores a request (actions 1-a and 1-b of Figure 7) and appends
+// it to the scheduler-visible buffer.
+func (io *IOMMU) admit(r *core.Request) {
+	r.Est = io.pwc.ProbeN(io.vpn4k(r.VPN), io.upperLevels())
+	io.buffer = append(io.buffer, r)
+	if len(io.buffer) > io.stats.BufferPeak {
+		io.stats.BufferPeak = len(io.buffer)
+	}
+	io.sched.OnArrival(r, io.buffer)
+}
+
+// walkerFreed is called when a walker finishes; it promotes overflow
+// requests into the scheduling window and dispatches the next walk
+// (action 2-a).
+func (io *IOMMU) walkerFreed() {
+	for len(io.preQueue) > 0 && len(io.buffer) < io.cfg.BufferEntries {
+		r := io.preQueue[0]
+		io.preQueue = io.preQueue[1:]
+		io.admit(r)
+	}
+	if len(io.buffer) == 0 {
+		return
+	}
+	idx := io.sched.Select(io.buffer)
+	r := io.buffer[idx]
+	io.buffer = append(io.buffer[:idx], io.buffer[idx+1:]...)
+	io.startWalk(r)
+}
+
+// startWalk occupies a walker and runs the walk state machine: PWC
+// lookup, then 1-4 dependent DRAM reads of page-table entries (2-b).
+func (io *IOMMU) startWalk(r *core.Request) {
+	io.idleWalkers--
+	io.busyInt.Add(io.eng.Now(), 1)
+	if io.cfg.RecordSchedule {
+		wid := io.freeWalkers[len(io.freeWalkers)-1]
+		io.freeWalkers = io.freeWalkers[:len(io.freeWalkers)-1]
+		io.walkStart[r] = walkSlot{walker: wid, start: io.eng.Now()}
+	}
+	if _, isPrefetch := io.prefetchReqs[r]; !isPrefetch {
+		io.stats.WalksStarted++
+		io.stats.BufferWait.Add(float64(io.eng.Now() - r.Arrive))
+	}
+	if io.cfg.MergeSameVPN {
+		if _, ok := io.inflight[r.VPN]; !ok {
+			io.inflight[r.VPN] = nil
+		}
+	}
+
+	if _, isPrefetch := io.prefetchReqs[r]; !isPrefetch {
+		io.schedSeq++
+		io.noteScheduled(r)
+	}
+
+	io.eng.After(io.cfg.PWCLat, func() {
+		vpn4k := io.vpn4k(r.VPN)
+		path := io.pt.WalkPath(vpn4k)
+		n := io.pwc.LookupN(vpn4k, len(path)-1)
+		if n < 1 || n > len(path) {
+			panic("iommu: PWC returned invalid access count")
+		}
+		io.issueWalkAccess(r, path[len(path)-n:], n)
+	})
+}
+
+// vpn4k converts a request VPN (at the configured page granularity) to
+// a 4 KB-granular VPN for page-table walking and PWC tagging.
+func (io *IOMMU) vpn4k(vpn uint64) uint64 {
+	if io.cfg.PageBits > mmu.PageBits {
+		return vpn << (io.cfg.PageBits - mmu.PageBits)
+	}
+	return vpn
+}
+
+// issueWalkAccess performs the remaining PTE reads sequentially; each
+// read depends on the previous one's result, as in a real radix walk.
+func (io *IOMMU) issueWalkAccess(r *core.Request, addrs []uint64, total int) {
+	if len(addrs) == 0 {
+		io.finishWalk(r, total)
+		return
+	}
+	ok := io.dram(addrs[0], func() {
+		io.issueWalkAccess(r, addrs[1:], total)
+	})
+	if !ok {
+		d := io.cfg.RetryDelay
+		if d == 0 {
+			d = 8
+		}
+		io.eng.After(d, func() { io.issueWalkAccess(r, addrs, total) })
+	}
+}
+
+// finishWalk completes a walk: fills PWC and IOMMU TLBs, replies to the
+// GPU, frees the walker (step 9).
+func (io *IOMMU) finishWalk(r *core.Request, accesses int) {
+	if io.cfg.RecordSchedule {
+		slot := io.walkStart[r]
+		delete(io.walkStart, r)
+		io.freeWalkers = append(io.freeWalkers, slot.walker)
+		limit := io.cfg.RecordLimit
+		if limit == 0 {
+			limit = 4096
+		}
+		if len(io.schedule) < limit {
+			io.schedule = append(io.schedule, WalkRecord{
+				Walker: slot.walker,
+				Start:  slot.start,
+				End:    io.eng.Now(),
+				Instr:  r.Instr,
+				VPN:    r.VPN,
+			})
+		}
+	}
+	vpn4k := io.vpn4k(r.VPN)
+	pfn, pageBits, ok := io.pt.TranslateAny(vpn4k)
+	if !ok {
+		panic(fmt.Sprintf("iommu: walk of unmapped vpn %#x", r.VPN))
+	}
+	upper := mmu.Levels - 1 // 4 KB leaf: PML4, PDPT, PD cacheable
+	if pageBits == mmu.LargePageBits {
+		upper = mmu.Levels - 2 // 2 MB leaf: only PML4, PDPT cacheable
+	}
+	io.pwc.FillN(vpn4k, upper)
+	io.l2.Insert(r.VPN, pfn)
+	io.l1.Insert(r.VPN, pfn)
+
+	if _, isPrefetch := io.prefetchReqs[r]; isPrefetch {
+		delete(io.prefetchReqs, r)
+		io.prefetched[r.VPN] = struct{}{}
+		io.idleWalkers++
+		io.busyInt.Add(io.eng.Now(), -1)
+		io.walkerFreed()
+		return
+	}
+
+	io.stats.WalksDone++
+	io.stats.WalkAccessHist[accesses]++
+	lat := uint64(io.eng.Now() - r.Arrive)
+	io.stats.WalkLatency.Add(float64(lat))
+	io.stats.WalkLatencyQ.Observe(lat)
+	io.noteCompleted(r, accesses, lat)
+
+	if done := io.doneFns[r]; done != nil {
+		io.reply(done, pfn)
+	}
+	delete(io.doneFns, r)
+
+	if io.cfg.MergeSameVPN {
+		for _, m := range io.inflight[r.VPN] {
+			mlat := uint64(io.eng.Now() - m.Arrive)
+			io.noteCompleted(m, 0, mlat)
+			if done := io.doneFns[m]; done != nil {
+				io.reply(done, pfn)
+			}
+			delete(io.doneFns, m)
+		}
+		delete(io.inflight, r.VPN)
+	}
+
+	io.idleWalkers++
+	io.busyInt.Add(io.eng.Now(), -1)
+	io.walkerFreed()
+	io.maybePrefetch(r.VPN + 1)
+}
+
+// maybePrefetch issues a background walk for vpn when the prefetcher is
+// enabled and the IOMMU is otherwise idle: a free walker, no pending
+// demand work, a mapped page, and no TLB-resident translation.
+func (io *IOMMU) maybePrefetch(vpn uint64) {
+	if !io.cfg.PrefetchNext || io.idleWalkers == 0 ||
+		len(io.buffer) > 0 || len(io.preQueue) > 0 {
+		return
+	}
+	if io.l1.Probe(vpn) || io.l2.Probe(vpn) {
+		return
+	}
+	if _, ok := io.pt.Translate(io.vpn4k(vpn)); !ok {
+		return
+	}
+	io.seq++
+	r := &core.Request{VPN: vpn, Seq: io.seq, Arrive: io.eng.Now()}
+	io.prefetchReqs[r] = struct{}{}
+	io.stats.Prefetches++
+	io.startWalk(r)
+}
+
+func (io *IOMMU) instr(id core.InstrID) *instrInfo {
+	in := io.instrs[id]
+	if in == nil {
+		in = &instrInfo{}
+		io.instrs[id] = in
+	}
+	return in
+}
+
+func (io *IOMMU) noteScheduled(r *core.Request) {
+	in := io.instr(r.Instr)
+	if in.schedCount == 0 {
+		in.firstSchedSeq = io.schedSeq
+	}
+	in.lastSchedSeq = io.schedSeq
+	in.schedCount++
+}
+
+func (io *IOMMU) noteCompleted(r *core.Request, accesses int, lat uint64) {
+	in := io.instr(r.Instr)
+	in.walks++
+	in.accesses += accesses
+	if in.completions == 0 {
+		in.firstDoneLat = lat
+	}
+	in.lastDoneLat = lat
+	in.completions++
+}
+
+// InstrSummary computes the per-instruction aggregates after a run.
+func (io *IOMMU) InstrSummary() InstrSummary {
+	s := InstrSummary{AccessHist: stats.PaperFig3Buckets()}
+	var firstSum, lastSum float64
+	for _, in := range io.instrs {
+		if in.walks == 0 {
+			continue
+		}
+		s.AccessHist.Observe(uint64(in.accesses))
+		if in.walks < 2 {
+			continue
+		}
+		s.Multi++
+		if in.lastSchedSeq-in.firstSchedSeq+1 > in.schedCount {
+			s.Interleaved++
+		}
+		firstSum += float64(in.firstDoneLat)
+		lastSum += float64(in.lastDoneLat)
+	}
+	if s.Multi > 0 {
+		s.MeanFirstLat = firstSum / float64(s.Multi)
+		s.MeanLastLat = lastSum / float64(s.Multi)
+	}
+	return s
+}

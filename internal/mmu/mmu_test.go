@@ -1,0 +1,264 @@
+package mmu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestPT(t *testing.T) (*PhysMem, *Allocator, *PageTable) {
+	t.Helper()
+	pm := NewPhysMem(1 << 30) // 1 GB
+	alloc := NewAllocator(pm, 42)
+	return pm, alloc, NewPageTable(pm, alloc)
+}
+
+func TestMapTranslate(t *testing.T) {
+	_, _, pt := newTestPT(t)
+	if _, ok := pt.Translate(0x123); ok {
+		t.Error("unmapped vpn translated")
+	}
+	if err := pt.Map(0x123, 0x777); err != nil {
+		t.Fatal(err)
+	}
+	pfn, ok := pt.Translate(0x123)
+	if !ok || pfn != 0x777 {
+		t.Errorf("Translate = %#x,%v, want 0x777", pfn, ok)
+	}
+	if pt.Mappings() != 1 {
+		t.Errorf("Mappings = %d, want 1", pt.Mappings())
+	}
+}
+
+func TestRemapOverwrites(t *testing.T) {
+	_, _, pt := newTestPT(t)
+	pt.Map(7, 100)
+	pt.Map(7, 200)
+	if pfn, _ := pt.Translate(7); pfn != 200 {
+		t.Errorf("remap: Translate = %#x, want 200", pfn)
+	}
+	if pt.Mappings() != 1 {
+		t.Errorf("Mappings = %d after remap, want 1", pt.Mappings())
+	}
+}
+
+func TestWalkAddrsStructure(t *testing.T) {
+	pm, _, pt := newTestPT(t)
+	vpn := uint64(0x0_123456789) & (1<<36 - 1)
+	if err := pt.Map(vpn, 42); err != nil {
+		t.Fatal(err)
+	}
+	addrs := pt.WalkAddrs(vpn)
+	// First address lies in the root frame.
+	if addrs[0]&^(PageSize-1) != pt.Root() {
+		t.Errorf("PML4E address %#x not in root frame %#x", addrs[0], pt.Root())
+	}
+	// Four distinct, 8-byte aligned addresses.
+	seen := map[uint64]bool{}
+	for lvl, a := range addrs {
+		if a%PTESize != 0 {
+			t.Errorf("level %d PTE address %#x unaligned", lvl, a)
+		}
+		if seen[a] {
+			t.Errorf("duplicate PTE address %#x", a)
+		}
+		seen[a] = true
+		// Every address holds a present entry.
+		if pm.ReadWord(a)&FlagPresent == 0 {
+			t.Errorf("level %d PTE not present", lvl)
+		}
+	}
+	// The leaf PTE encodes the mapped frame.
+	if leaf := pm.ReadWord(addrs[3]); leaf>>PageBits != 42 {
+		t.Errorf("leaf PTE = %#x, want frame 42", leaf)
+	}
+}
+
+func TestWalkAddrsSharing(t *testing.T) {
+	_, _, pt := newTestPT(t)
+	// Two vpns in the same 2MB region share the first three levels.
+	pt.Map(0x1000, 1)
+	pt.Map(0x1001, 2)
+	a, b := pt.WalkAddrs(0x1000), pt.WalkAddrs(0x1001)
+	for lvl := 0; lvl < 3; lvl++ {
+		if a[lvl] != b[lvl] {
+			t.Errorf("level %d differs for adjacent vpns", lvl)
+		}
+	}
+	if a[3] == b[3] {
+		t.Error("leaf PTEs must differ")
+	}
+	// A vpn in a different top-level region shares nothing.
+	far := uint64(1) << 35
+	pt.Map(far, 3)
+	c := pt.WalkAddrs(far)
+	if c[0] == a[0] {
+		t.Error("far vpn shares PML4E slot with near vpn")
+	}
+}
+
+func TestWalkAddrsUnmappedPanics(t *testing.T) {
+	_, _, pt := newTestPT(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("WalkAddrs on unmapped vpn did not panic")
+		}
+	}()
+	pt.WalkAddrs(0x5555)
+}
+
+func TestLevelIndex(t *testing.T) {
+	// vpn bits: [35:27]=PML4, [26:18]=PDPT, [17:9]=PD, [8:0]=PT.
+	vpn := uint64(1)<<27 | uint64(2)<<18 | uint64(3)<<9 | 4
+	want := []uint64{1, 2, 3, 4}
+	for lvl, w := range want {
+		if got := levelIndex(vpn, lvl); got != w {
+			t.Errorf("levelIndex(lvl %d) = %d, want %d", lvl, got, w)
+		}
+	}
+}
+
+func TestAllocatorUnique(t *testing.T) {
+	pm := NewPhysMem(16 << 20) // 4096 frames
+	alloc := NewAllocator(pm, 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		pfn, ok := alloc.Alloc()
+		if !ok {
+			t.Fatalf("allocation %d failed early", i)
+		}
+		if pfn == 0 || pfn >= pm.Frames() {
+			t.Fatalf("pfn %#x out of range", pfn)
+		}
+		if seen[pfn] {
+			t.Fatalf("frame %#x allocated twice", pfn)
+		}
+		seen[pfn] = true
+	}
+	if alloc.Allocated() != 2000 {
+		t.Errorf("Allocated = %d", alloc.Allocated())
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	pm := NewPhysMem(8 * PageSize)
+	alloc := NewAllocator(pm, 1)
+	n := 0
+	for {
+		if _, ok := alloc.Alloc(); !ok {
+			break
+		}
+		n++
+		if n > 10 {
+			t.Fatal("allocator exceeded physical frames")
+		}
+	}
+	if n == 0 {
+		t.Fatal("no frames allocated at all")
+	}
+}
+
+func TestAllocatorDeterminism(t *testing.T) {
+	seq := func(seed uint64) []uint64 {
+		pm := NewPhysMem(1 << 24)
+		alloc := NewAllocator(pm, seed)
+		out := make([]uint64, 100)
+		for i := range out {
+			out[i], _ = alloc.Alloc()
+		}
+		return out
+	}
+	a, b := seq(5), seq(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different frame sequences")
+		}
+	}
+}
+
+func TestPhysMemWords(t *testing.T) {
+	pm := NewPhysMem(1 << 20)
+	pm.WriteWord(0x100, 0xdead)
+	if pm.ReadWord(0x100) != 0xdead {
+		t.Error("word roundtrip failed")
+	}
+	if pm.ReadWord(0x108) != 0 {
+		t.Error("unwritten word not zero")
+	}
+	pm.WriteWord(0x100, 0) // zero deletes
+	if pm.WordCount() != 0 {
+		t.Errorf("WordCount = %d after zeroing", pm.WordCount())
+	}
+}
+
+func TestPhysMemUnalignedPanics(t *testing.T) {
+	pm := NewPhysMem(1 << 20)
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned read did not panic")
+		}
+	}()
+	pm.ReadWord(3)
+}
+
+func TestAddressSpaceEnsure(t *testing.T) {
+	pm := NewPhysMem(1 << 28)
+	alloc := NewAllocator(pm, 9)
+	as := NewAddressSpace(pm, alloc)
+	vpn, err := as.Ensure(0x1234567)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vpn != 0x1234567>>PageBits {
+		t.Errorf("vpn = %#x", vpn)
+	}
+	// Second Ensure of the same page does not allocate again.
+	before := alloc.Allocated()
+	if _, err := as.Ensure(0x1234567); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Allocated() != before {
+		t.Error("double Ensure allocated a second frame")
+	}
+	pa, ok := as.TranslateAddr(0x1234567)
+	if !ok {
+		t.Fatal("TranslateAddr missed a mapped page")
+	}
+	if pa&(PageSize-1) != 0x1234567&(PageSize-1) {
+		t.Error("page offset not preserved")
+	}
+}
+
+func TestEnsureRange(t *testing.T) {
+	pm := NewPhysMem(1 << 28)
+	alloc := NewAllocator(pm, 9)
+	as := NewAddressSpace(pm, alloc)
+	if err := as.EnsureRange(0x10000, 3*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < 3*PageSize; off += PageSize {
+		if _, ok := as.TranslateAddr(0x10000 + off); !ok {
+			t.Errorf("page at +%#x not mapped", off)
+		}
+	}
+	if err := as.EnsureRange(0x9000000, 0); err != nil {
+		t.Errorf("zero-size range: %v", err)
+	}
+}
+
+func TestQuickMapTranslateRoundtrip(t *testing.T) {
+	pm := NewPhysMem(1 << 30)
+	alloc := NewAllocator(pm, 3)
+	pt := NewPageTable(pm, alloc)
+	f := func(vpn, pfn uint64) bool {
+		vpn &= 1<<36 - 1
+		pfn &= 1<<40 - 1
+		if err := pt.Map(vpn, pfn); err != nil {
+			return false
+		}
+		got, ok := pt.Translate(vpn)
+		return ok && got == pfn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,228 @@
+package mmu
+
+import "fmt"
+
+// PageTable is a four-level x86-64 radix page table stored in simulated
+// physical memory. VPNs are the 36 bits of virtual address above the
+// 4 KB page offset (bits 47:12 of a canonical address).
+type PageTable struct {
+	mem   *PhysMem
+	alloc *Allocator
+	root  uint64 // physical address of the PML4 frame
+	maps  uint64 // number of leaf mappings installed
+}
+
+// NewPageTable creates an empty page table, allocating its root frame.
+func NewPageTable(mem *PhysMem, alloc *Allocator) *PageTable {
+	rootPFN, ok := alloc.Alloc()
+	if !ok {
+		panic("mmu: out of physical memory allocating page table root")
+	}
+	return &PageTable{mem: mem, alloc: alloc, root: rootPFN << PageBits}
+}
+
+// Root returns the physical address of the PML4 table (CR3 equivalent).
+func (pt *PageTable) Root() uint64 { return pt.root }
+
+// Mappings returns the number of installed leaf (4 KB) mappings.
+func (pt *PageTable) Mappings() uint64 { return pt.maps }
+
+// levelIndex extracts the 9-bit table index of vpn at the given level,
+// where level 0 is the PML4 (root) and level 3 is the leaf PT.
+func levelIndex(vpn uint64, level int) uint64 {
+	shift := uint(LevelBits * (Levels - 1 - level))
+	return (vpn >> shift) & (1<<LevelBits - 1)
+}
+
+// Map installs vpn -> pfn, allocating intermediate tables as needed.
+// Remapping an existing vpn overwrites the leaf PTE.
+func (pt *PageTable) Map(vpn, pfn uint64) error {
+	tbl := pt.root
+	for level := 0; level < Levels-1; level++ {
+		pteAddr := tbl + levelIndex(vpn, level)*PTESize
+		pte := pt.mem.ReadWord(pteAddr)
+		if pte&FlagPresent == 0 {
+			newPFN, ok := pt.alloc.Alloc()
+			if !ok {
+				return fmt.Errorf("mmu: out of physical memory at level %d for vpn %#x", level, vpn)
+			}
+			pte = newPFN<<PageBits | FlagPresent | FlagWritable | FlagUser
+			pt.mem.WriteWord(pteAddr, pte)
+		}
+		tbl = pte &^ (PageSize - 1)
+	}
+	leafAddr := tbl + levelIndex(vpn, Levels-1)*PTESize
+	if pt.mem.ReadWord(leafAddr)&FlagPresent == 0 {
+		pt.maps++
+	}
+	pt.mem.WriteWord(leafAddr, pfn<<PageBits|FlagPresent|FlagWritable|FlagUser)
+	return nil
+}
+
+// MapLarge installs a 2 MB large-page mapping: lvpn is the virtual
+// address >> 21, basePFN the (512-aligned) first frame of the backing
+// run. The PD entry becomes a PS leaf; PML4 and PDPT levels are built
+// as for 4 KB mappings.
+func (pt *PageTable) MapLarge(lvpn, basePFN uint64) error {
+	if basePFN%FramesPerLarge != 0 {
+		return fmt.Errorf("mmu: large-page base frame %#x not 2MB aligned", basePFN)
+	}
+	vpn := lvpn << LevelBits // 4 KB-granular vpn of the region base
+	tbl := pt.root
+	for level := 0; level < Levels-2; level++ {
+		pteAddr := tbl + levelIndex(vpn, level)*PTESize
+		pte := pt.mem.ReadWord(pteAddr)
+		if pte&FlagPresent == 0 {
+			newPFN, ok := pt.alloc.Alloc()
+			if !ok {
+				return fmt.Errorf("mmu: out of physical memory at level %d for lvpn %#x", level, lvpn)
+			}
+			pte = newPFN<<PageBits | FlagPresent | FlagWritable | FlagUser
+			pt.mem.WriteWord(pteAddr, pte)
+		}
+		tbl = pte &^ (PageSize - 1)
+	}
+	pdeAddr := tbl + levelIndex(vpn, Levels-2)*PTESize
+	if pt.mem.ReadWord(pdeAddr)&FlagPresent == 0 {
+		pt.maps++
+	}
+	pt.mem.WriteWord(pdeAddr, basePFN<<PageBits|FlagPresent|FlagWritable|FlagUser|FlagPS)
+	return nil
+}
+
+// Translate performs a functional (zero-time) walk, returning the mapped
+// pfn, or ok=false if vpn is unmapped. For a 4 KB page this is its
+// frame; for a 2 MB page it is the frame covering this vpn within the
+// large page's backing run.
+func (pt *PageTable) Translate(vpn uint64) (pfn uint64, ok bool) {
+	pfn, _, ok = pt.TranslateAny(vpn)
+	return pfn, ok
+}
+
+// TranslateAny walks for vpn and additionally reports the page size of
+// the mapping (PageBits or LargePageBits).
+func (pt *PageTable) TranslateAny(vpn uint64) (pfn uint64, pageBits uint, ok bool) {
+	tbl := pt.root
+	for level := 0; level < Levels; level++ {
+		pte := pt.mem.ReadWord(tbl + levelIndex(vpn, level)*PTESize)
+		if pte&FlagPresent == 0 {
+			return 0, 0, false
+		}
+		if level == Levels-2 && pte&FlagPS != 0 {
+			base := pte >> PageBits &^ (FramesPerLarge - 1)
+			return base + vpn&(FramesPerLarge-1), LargePageBits, true
+		}
+		tbl = pte &^ (PageSize - 1)
+	}
+	return tbl >> PageBits, PageBits, true
+}
+
+// WalkAddrs returns the physical addresses of the four PTEs a full walk
+// of vpn reads, in walk order (PML4E, PDPTE, PDE, PTE). All four levels
+// must be present and the leaf must be a 4 KB page; it panics otherwise,
+// since the simulator premaps every page a workload touches (demand
+// paging is out of scope, as in the paper). For size-agnostic walks use
+// WalkPath.
+func (pt *PageTable) WalkAddrs(vpn uint64) [Levels]uint64 {
+	path := pt.WalkPath(vpn)
+	if len(path) != Levels {
+		panic(fmt.Sprintf("mmu: WalkAddrs on large-page vpn %#x", vpn))
+	}
+	var out [Levels]uint64
+	copy(out[:], path)
+	return out
+}
+
+// WalkPath returns the physical addresses of the PTEs a walk of vpn
+// reads: four for a 4 KB mapping, three for a 2 MB mapping (whose PD
+// entry is the leaf). It panics on an unmapped vpn (see WalkAddrs).
+func (pt *PageTable) WalkPath(vpn uint64) []uint64 {
+	out := make([]uint64, 0, Levels)
+	tbl := pt.root
+	for level := 0; level < Levels; level++ {
+		addr := tbl + levelIndex(vpn, level)*PTESize
+		out = append(out, addr)
+		pte := pt.mem.ReadWord(addr)
+		if pte&FlagPresent == 0 {
+			panic(fmt.Sprintf("mmu: WalkPath on unmapped vpn %#x at level %d", vpn, level))
+		}
+		if level == Levels-2 && pte&FlagPS != 0 {
+			return out // 2 MB leaf
+		}
+		tbl = pte &^ (PageSize - 1)
+	}
+	return out
+}
+
+// AddressSpace wraps a page table with on-demand mapping: the first
+// touch of a virtual page allocates a frame and installs the mapping.
+// The simulator premaps traces through it before timing begins.
+type AddressSpace struct {
+	PT    *PageTable
+	alloc *Allocator
+	// PageBits selects the mapping granularity: PageBits (12, default)
+	// maps 4 KB pages; LargePageBits (21) backs every touched region
+	// with 2 MB pages, reproducing the paper's Section VI "why not
+	// large pages?" configuration.
+	PageBits uint
+}
+
+// NewAddressSpace creates an address space over a fresh page table with
+// 4 KB pages.
+func NewAddressSpace(mem *PhysMem, alloc *Allocator) *AddressSpace {
+	return &AddressSpace{PT: NewPageTable(mem, alloc), alloc: alloc, PageBits: PageBits}
+}
+
+// Ensure maps the page containing vaddr if it is not already mapped and
+// returns its vpn (at the address space's page granularity).
+func (as *AddressSpace) Ensure(vaddr uint64) (uint64, error) {
+	if as.PageBits >= LargePageBits {
+		return as.ensureLarge(vaddr)
+	}
+	vpn := vaddr >> PageBits
+	if _, ok := as.PT.Translate(vpn); ok {
+		return vpn, nil
+	}
+	pfn, ok := as.alloc.Alloc()
+	if !ok {
+		return 0, fmt.Errorf("mmu: out of physical memory mapping vaddr %#x", vaddr)
+	}
+	return vpn, as.PT.Map(vpn, pfn)
+}
+
+func (as *AddressSpace) ensureLarge(vaddr uint64) (uint64, error) {
+	lvpn := vaddr >> LargePageBits
+	if _, ok := as.PT.Translate(lvpn << LevelBits); ok {
+		return lvpn, nil
+	}
+	base, ok := as.alloc.AllocRun(FramesPerLarge)
+	if !ok {
+		return 0, fmt.Errorf("mmu: out of contiguous physical memory mapping vaddr %#x", vaddr)
+	}
+	return lvpn, as.PT.MapLarge(lvpn, base)
+}
+
+// EnsureRange maps every page overlapping [base, base+size).
+func (as *AddressSpace) EnsureRange(base, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	first := base >> PageBits
+	last := (base + size - 1) >> PageBits
+	for vpn := first; vpn <= last; vpn++ {
+		if _, err := as.Ensure(vpn << PageBits); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TranslateAddr translates a full virtual address to a physical address,
+// or ok=false if its page is unmapped.
+func (as *AddressSpace) TranslateAddr(vaddr uint64) (uint64, bool) {
+	pfn, ok := as.PT.Translate(vaddr >> PageBits)
+	if !ok {
+		return 0, false
+	}
+	return pfn<<PageBits | vaddr&(PageSize-1), true
+}

@@ -1,0 +1,143 @@
+// Package report renders a gpu.Result as a human-readable text report
+// (used by cmd/gpuwalksim) and as machine-readable lines for scripting.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"gpuwalk/internal/gpu"
+)
+
+// Write renders the full text report to w.
+func Write(w io.Writer, r gpu.Result) {
+	fmt.Fprintf(w, "workload      %s\n", r.Workload)
+	fmt.Fprintf(w, "scheduler     %s\n", r.Scheduler)
+	fmt.Fprintf(w, "cycles        %d\n", r.Cycles)
+	fmt.Fprintf(w, "instructions  %d\n", r.Instructions)
+	fmt.Fprintf(w, "stall cycles  %d (summed over CUs)\n", r.StallCycles)
+	fmt.Fprintf(w, "translations  %d coalesced requests\n", r.Translations)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "GPU L1 TLB    %.3f hit rate (%d lookups)\n", r.GPUL1TLB.Lookups.Rate(), r.GPUL1TLB.Lookups.Total)
+	fmt.Fprintf(w, "GPU L2 TLB    %.3f hit rate (%d lookups)\n", r.GPUL2TLB.Lookups.Rate(), r.GPUL2TLB.Lookups.Total)
+	fmt.Fprintf(w, "IOMMU TLBs    L1 %.3f, L2 %.3f hit rate\n", r.IOMMUL1TLB.Lookups.Rate(), r.IOMMUL2TLB.Lookups.Rate())
+	fmt.Fprintf(w, "page walks    %d (mean latency %.0f cycles, mean buffer wait %.0f)\n",
+		r.IOMMU.WalksDone, r.IOMMU.WalkLatency.Value(), r.IOMMU.BufferWait.Value())
+	if r.IOMMU.WalkLatencyQ.N() > 0 {
+		fmt.Fprintf(w, "walk latency  P50 %d, P95 %d, P99 %d, max %d cycles\n",
+			r.IOMMU.WalkLatencyQ.Value(0.5), r.IOMMU.WalkLatencyQ.Value(0.95),
+			r.IOMMU.WalkLatencyQ.Value(0.99), r.IOMMU.WalkLatencyQ.Max())
+	}
+	fmt.Fprintf(w, "walk accesses 1:%d 2:%d 3:%d 4:%d\n",
+		r.IOMMU.WalkAccessHist[1], r.IOMMU.WalkAccessHist[2], r.IOMMU.WalkAccessHist[3], r.IOMMU.WalkAccessHist[4])
+	fmt.Fprintf(w, "PWC           probe hit %.3f, lookup hit %.3f\n", r.PWC.Probes.Rate(), r.PWC.Lookups.Rate())
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "L1D           %.3f hit rate (%d lookups)\n", r.L1D.Lookups.Rate(), r.L1D.Lookups.Total)
+	fmt.Fprintf(w, "L2D           %.3f hit rate (%d lookups)\n", r.L2D.Lookups.Rate(), r.L2D.Lookups.Total)
+	fmt.Fprintf(w, "DRAM          %d reads (%d walk-priority), %d writes, row hit/miss/conflict %d/%d/%d\n",
+		r.DRAM.Reads, r.DRAM.PrioReads, r.DRAM.Writes, r.DRAM.RowHits, r.DRAM.RowMisses, r.DRAM.RowConflicts)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "per-instruction walk-work histogram (accesses: instructions):\n%s", r.Instr.AccessHist)
+	if r.Instr.Multi > 0 {
+		fmt.Fprintf(w, "interleaved   %.3f of %d multi-walk instructions\n",
+			float64(r.Instr.Interleaved)/float64(r.Instr.Multi), r.Instr.Multi)
+		fmt.Fprintf(w, "walk latency  first %.0f, last %.0f cycles (per multi-walk instruction)\n",
+			r.Instr.MeanFirstLat, r.Instr.MeanLastLat)
+	}
+	if len(r.PerApp) > 1 {
+		fmt.Fprintln(w)
+		for _, app := range r.PerApp {
+			fmt.Fprintf(w, "app %-10s finished at cycle %d\n", app.Name, app.FinishCycle)
+		}
+	}
+}
+
+// KeyValues returns the report's headline metrics as ordered key/value
+// pairs, for CSV emission and tests.
+func KeyValues(r gpu.Result) []struct {
+	Key   string
+	Value float64
+} {
+	kv := func(k string, v float64) struct {
+		Key   string
+		Value float64
+	} {
+		return struct {
+			Key   string
+			Value float64
+		}{k, v}
+	}
+	return []struct {
+		Key   string
+		Value float64
+	}{
+		kv("cycles", float64(r.Cycles)),
+		kv("instructions", float64(r.Instructions)),
+		kv("stall_cycles", float64(r.StallCycles)),
+		kv("translations", float64(r.Translations)),
+		kv("page_walks", float64(r.IOMMU.WalksDone)),
+		kv("walk_latency_mean", r.IOMMU.WalkLatency.Value()),
+		kv("gpu_l1tlb_hit", r.GPUL1TLB.Lookups.Rate()),
+		kv("gpu_l2tlb_hit", r.GPUL2TLB.Lookups.Rate()),
+		kv("pwc_lookup_hit", r.PWC.Lookups.Rate()),
+		kv("l1d_hit", r.L1D.Lookups.Rate()),
+		kv("l2d_hit", r.L2D.Lookups.Rate()),
+		kv("dram_reads", float64(r.DRAM.Reads)),
+		kv("dram_row_hit_frac", rowHitFrac(r)),
+		kv("epoch_mean_wavefronts", r.EpochMeanWavefronts),
+	}
+}
+
+func rowHitFrac(r gpu.Result) float64 {
+	total := r.DRAM.RowHits + r.DRAM.RowMisses + r.DRAM.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(r.DRAM.RowHits) / float64(total)
+}
+
+// WriteDiff renders the headline metrics of two runs side by side with
+// the b/a ratio, for A/B comparisons (cmd/gpuwalkdiff).
+func WriteDiff(w io.Writer, a, b gpu.Result) {
+	fmt.Fprintf(w, "%-24s %14s %14s %8s\n", "metric",
+		a.Scheduler, b.Scheduler, "b/a")
+	bkv := KeyValues(b)
+	for i, kv := range KeyValues(a) {
+		ratio := 0.0
+		if kv.Value != 0 {
+			ratio = bkv[i].Value / kv.Value
+		}
+		fmt.Fprintf(w, "%-24s %14.5g %14.5g %8.3f\n", kv.Key, kv.Value, bkv[i].Value, ratio)
+	}
+}
+
+// WriteCSV emits one header line and one data line of the headline
+// metrics.
+func WriteCSV(w io.Writer, r gpu.Result) error {
+	kvs := KeyValues(r)
+	for i, kv := range kvs {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, kv.Key); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for i, kv := range kvs {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%g", kv.Value); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpuwalk/internal/core"
+	"gpuwalk/internal/gpu"
+	"gpuwalk/internal/workload"
+)
+
+func sampleResult(t *testing.T) gpu.Result {
+	t.Helper()
+	g, err := workload.ByName("ATX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Generate(workload.GenConfig{
+		CUs: 2, WavefrontsPerCU: 2, InstrsPerWavefront: 6, Scale: 0.05, Seed: 2,
+	})
+	p := gpu.DefaultParams()
+	p.GPU.CUs = 2
+	p.SchedKind = core.KindSIMTAware
+	sys, err := gpu.NewSystem(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteContainsHeadlines(t *testing.T) {
+	res := sampleResult(t)
+	var buf bytes.Buffer
+	Write(&buf, res)
+	out := buf.String()
+	for _, want := range []string{
+		"workload      ATX",
+		"scheduler     simt-aware",
+		"cycles",
+		"page walks",
+		"GPU L1 TLB",
+		"DRAM",
+		"walk-work histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKeyValuesComplete(t *testing.T) {
+	res := sampleResult(t)
+	kvs := KeyValues(res)
+	seen := map[string]float64{}
+	for _, kv := range kvs {
+		if _, dup := seen[kv.Key]; dup {
+			t.Errorf("duplicate key %q", kv.Key)
+		}
+		seen[kv.Key] = kv.Value
+	}
+	if seen["cycles"] != float64(res.Cycles) {
+		t.Errorf("cycles = %f, want %d", seen["cycles"], res.Cycles)
+	}
+	if seen["page_walks"] != float64(res.IOMMU.WalksDone) {
+		t.Error("page_walks mismatch")
+	}
+	for _, rate := range []string{"gpu_l1tlb_hit", "l1d_hit", "dram_row_hit_frac"} {
+		if seen[rate] < 0 || seen[rate] > 1 {
+			t.Errorf("%s = %f out of [0,1]", rate, seen[rate])
+		}
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	res := sampleResult(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want 2", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	data := strings.Split(lines[1], ",")
+	if len(header) != len(data) {
+		t.Errorf("header has %d fields, data %d", len(header), len(data))
+	}
+	if header[0] != "cycles" {
+		t.Errorf("first column = %q", header[0])
+	}
+}
+
+func TestMultiAppSection(t *testing.T) {
+	g1, _ := workload.ByName("MVT")
+	g2, _ := workload.ByName("KMN")
+	gen := workload.GenConfig{CUs: 2, WavefrontsPerCU: 2, InstrsPerWavefront: 4, Scale: 0.05, Seed: 3}
+	merged := workload.Merge("pair", g1.Generate(gen), g2.Generate(gen))
+	p := gpu.DefaultParams()
+	p.GPU.CUs = 2
+	sys, err := gpu.NewSystem(p, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Write(&buf, res)
+	if !strings.Contains(buf.String(), "app MVT") || !strings.Contains(buf.String(), "app KMN") {
+		t.Errorf("multi-app section missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteDiff(t *testing.T) {
+	a := sampleResult(t)
+	b := a
+	b.Cycles = a.Cycles / 2
+	var buf bytes.Buffer
+	WriteDiff(&buf, a, b)
+	out := buf.String()
+	if !strings.Contains(out, "metric") || !strings.Contains(out, "cycles") {
+		t.Errorf("diff missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "0.500") && !strings.Contains(out, "0.5") {
+		t.Errorf("diff ratio not rendered:\n%s", out)
+	}
+}

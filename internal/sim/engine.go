@@ -1,0 +1,131 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a cycle-accurate clock and dispatches scheduled
+// callbacks in (cycle, insertion-order) order, which makes every run of a
+// simulation bit-for-bit reproducible. All timing in gpuwalk is expressed
+// in GPU core cycles (2 GHz in the baseline configuration, so one cycle
+// is 0.5 ns).
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in GPU core cycles.
+type Cycle uint64
+
+// event is a single scheduled callback.
+type event struct {
+	at  Cycle
+	seq uint64 // tie-breaker: FIFO among events on the same cycle
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{} // release fn for GC
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator clock and event queue.
+// The zero value is ready to use.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	// dispatched counts events executed since construction; useful for
+	// progress reporting and runaway detection in tests.
+	dispatched uint64
+}
+
+// NewEngine returns an engine with clock at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Dispatched returns the number of events executed so far.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute cycle c. Scheduling in the past
+// (c < Now) panics: it always indicates a model bug, and silently
+// reordering time would destroy determinism.
+func (e *Engine) At(c Cycle, fn func()) {
+	if c < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: c, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now. After(0, fn) runs fn later
+// on the current cycle, after all callbacks scheduled before it.
+func (e *Engine) After(d uint64, fn func()) {
+	e.At(e.now+Cycle(d), fn)
+}
+
+// Step executes the next event, advancing the clock to its cycle.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.dispatched++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final
+// cycle. Simulations terminate naturally when no component schedules
+// further work.
+func (e *Engine) Run() Cycle {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with cycle <= limit. It returns true if the
+// queue drained, false if stopped at the limit with events pending.
+// The clock never passes limit.
+func (e *Engine) RunUntil(limit Cycle) bool {
+	for len(e.events) > 0 {
+		if e.events[0].at > limit {
+			e.now = limit
+			return false
+		}
+		e.Step()
+	}
+	return true
+}
+
+// RunFor executes at most n events, returning the number executed. It is
+// a guard for tests that must not loop forever on a buggy model.
+func (e *Engine) RunFor(n uint64) uint64 {
+	var done uint64
+	for done < n && e.Step() {
+		done++
+	}
+	return done
+}

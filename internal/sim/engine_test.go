@@ -1,0 +1,223 @@
+package sim
+
+import "testing"
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	if final := e.Run(); final != 30 {
+		t.Errorf("final cycle = %d, want 30", final)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineFIFOTies(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events not FIFO: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineAfterZero(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(10, func() {
+		got = append(got, "a")
+		// After(0) runs later on the same cycle, after already-queued
+		// same-cycle events.
+		e.After(0, func() { got = append(got, "c") })
+	})
+	e.At(10, func() { got = append(got, "b") })
+	e.Run()
+	want := "abc"
+	have := ""
+	for _, s := range got {
+		have += s
+	}
+	if have != want {
+		t.Errorf("execution order = %q, want %q", have, want)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %d, want 10", e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 10 {
+			e.After(5, rec)
+		}
+	}
+	e.After(1, rec)
+	e.Run()
+	if depth != 10 {
+		t.Errorf("depth = %d, want 10", depth)
+	}
+	if e.Now() != 1+9*5 {
+		t.Errorf("Now = %d, want %d", e.Now(), 1+9*5)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	if e.RunUntil(20) {
+		t.Error("RunUntil(20) reported drained with events pending")
+	}
+	if ran != 2 {
+		t.Errorf("ran = %d events by cycle 20, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %d, want 20", e.Now())
+	}
+	if !e.RunUntil(100) {
+		t.Error("RunUntil(100) should drain")
+	}
+	if ran != 3 {
+		t.Errorf("ran = %d, want 3", ran)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Cycle(i), func() {})
+	}
+	if n := e.RunFor(3); n != 3 {
+		t.Errorf("RunFor(3) = %d", n)
+	}
+	if n := e.RunFor(100); n != 2 {
+		t.Errorf("RunFor(100) after partial run = %d, want 2", n)
+	}
+}
+
+func TestDispatchedAndPending(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Dispatched() != 2 {
+		t.Errorf("Dispatched = %d, want 2", e.Dispatched())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending after run = %d", e.Pending())
+	}
+}
+
+func TestIntegrator(t *testing.T) {
+	var g Integrator
+	g.Set(0, 2)
+	g.Set(10, 5) // 2 for 10 cycles = 20
+	g.Set(20, 0) // 5 for 10 cycles = 50
+	g.Finish(30) // 0 for 10 cycles
+	if got := g.Total(); got != 70 {
+		t.Errorf("Total = %d, want 70", got)
+	}
+	if avg := g.AverageOver(30); avg < 2.33 || avg > 2.34 {
+		t.Errorf("AverageOver = %f", avg)
+	}
+}
+
+func TestIntegratorZeroCycles(t *testing.T) {
+	var g Integrator
+	g.Arm(0)
+	g.Set(5, 1)  // 0..5 at zero while armed = 5
+	g.Set(15, 0) // busy 5..15
+	g.Disarm(25) // 15..25 at zero while armed = 10
+	g.Set(30, 0) // disarmed: not counted
+	g.Finish(40)
+	if got := g.ZeroCycles(); got != 15 {
+		t.Errorf("ZeroCycles = %d, want 15", got)
+	}
+}
+
+func TestIntegratorAdd(t *testing.T) {
+	var g Integrator
+	g.Add(0, 3)
+	g.Add(10, -3)
+	if g.Value() != 0 {
+		t.Errorf("Value = %d, want 0", g.Value())
+	}
+	g.Finish(20)
+	if g.Total() != 30 {
+		t.Errorf("Total = %d, want 30", g.Total())
+	}
+}
+
+func TestIntegratorBackwardsPanics(t *testing.T) {
+	var g Integrator
+	g.Set(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards time did not panic")
+		}
+	}()
+	g.Set(5, 2)
+}
+
+func TestPort(t *testing.T) {
+	p := Port{Cycles: 3}
+	if got := p.Acquire(10); got != 10 {
+		t.Errorf("first Acquire = %d, want 10", got)
+	}
+	if got := p.Acquire(10); got != 13 {
+		t.Errorf("second Acquire = %d, want 13", got)
+	}
+	if got := p.Acquire(100); got != 100 {
+		t.Errorf("late Acquire = %d, want 100", got)
+	}
+	if b := p.Backlog(100); b != 3 {
+		t.Errorf("Backlog = %d, want 3", b)
+	}
+	if b := p.Backlog(200); b != 0 {
+		t.Errorf("idle Backlog = %d, want 0", b)
+	}
+}
+
+func TestPortUnlimited(t *testing.T) {
+	var p Port // Cycles == 0
+	for i := 0; i < 10; i++ {
+		if got := p.Acquire(7); got != 7 {
+			t.Fatalf("unlimited port Acquire = %d, want 7", got)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package stats
+
+// EpochDistinct counts, over fixed-size epochs of accesses, how many
+// distinct uint64 keys appear per epoch. Figure 12 of the paper uses this
+// with the GPU L2 TLB: key = wavefront ID, epoch = 1024 L2 TLB accesses.
+type EpochDistinct struct {
+	epochLen  uint64
+	inEpoch   uint64
+	seen      map[uint64]struct{}
+	epochSums uint64 // sum of distinct counts over completed epochs
+	epochs    uint64
+}
+
+// NewEpochDistinct creates a tracker with the given epoch length in
+// accesses. Length 0 panics.
+func NewEpochDistinct(epochLen uint64) *EpochDistinct {
+	if epochLen == 0 {
+		panic("stats: epoch length must be positive")
+	}
+	return &EpochDistinct{epochLen: epochLen, seen: make(map[uint64]struct{})}
+}
+
+// Access records one access by the given key.
+func (e *EpochDistinct) Access(key uint64) {
+	e.seen[key] = struct{}{}
+	e.inEpoch++
+	if e.inEpoch == e.epochLen {
+		e.flush()
+	}
+}
+
+func (e *EpochDistinct) flush() {
+	e.epochSums += uint64(len(e.seen))
+	e.epochs++
+	e.inEpoch = 0
+	clear(e.seen)
+}
+
+// Finish closes a partial trailing epoch, if any.
+func (e *EpochDistinct) Finish() {
+	if e.inEpoch > 0 {
+		e.flush()
+	}
+}
+
+// Epochs returns the number of completed epochs.
+func (e *EpochDistinct) Epochs() uint64 { return e.epochs }
+
+// MeanDistinct returns the average number of distinct keys per epoch.
+func (e *EpochDistinct) MeanDistinct() float64 {
+	if e.epochs == 0 {
+		return 0
+	}
+	return float64(e.epochSums) / float64(e.epochs)
+}

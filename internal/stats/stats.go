@@ -1,0 +1,177 @@
+// Package stats collects the counters, histograms and time series the
+// experiments report. The types here are deliberately dumb containers:
+// model components own their instances and the experiment layer reads
+// them out after a run.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over uint64 samples.
+// Buckets are defined by their inclusive upper bounds; samples above the
+// last bound land in the overflow bucket.
+type Histogram struct {
+	bounds   []uint64
+	counts   []uint64
+	overflow uint64
+	total    uint64
+	sum      uint64
+	max      uint64
+}
+
+// NewHistogram creates a histogram with the given inclusive upper bounds,
+// which must be strictly increasing.
+func NewHistogram(bounds ...uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]uint64, len(bounds)),
+	}
+}
+
+// PaperFig3Buckets returns the bucket bounds used by Figure 3 of the
+// paper: 1-16, 17-32, 33-48, 49-64, 65-80, 81-256.
+func PaperFig3Buckets() *Histogram {
+	return NewHistogram(16, 32, 48, 64, 80, 256)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	if i == len(h.bounds) {
+		h.overflow++
+		return
+	}
+	h.counts[i]++
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest observed sample (0 if none).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the mean sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Buckets returns a copy of (upper bound, count) pairs plus the overflow
+// count as the final element with bound 0 when nonzero.
+func (h *Histogram) Buckets() ([]uint64, []uint64, uint64) {
+	return append([]uint64(nil), h.bounds...), append([]uint64(nil), h.counts...), h.overflow
+}
+
+// Fractions returns each bucket's share of the total sample count.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// String renders the histogram one bucket per line.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	lo := uint64(1)
+	for i, bound := range h.bounds {
+		fmt.Fprintf(&b, "%6d-%-6d %8d (%.3f)\n", lo, bound, h.counts[i],
+			frac(h.counts[i], h.total))
+		lo = bound + 1
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "%6d+%7s %8d (%.3f)\n", lo, "", h.overflow,
+			frac(h.overflow, h.total))
+	}
+	return b.String()
+}
+
+func frac(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// Mean accumulates a running arithmetic mean without storing samples.
+type Mean struct {
+	n   uint64
+	sum float64
+}
+
+// Add records one sample.
+func (m *Mean) Add(v float64) { m.n++; m.sum += v }
+
+// N returns the number of samples.
+func (m *Mean) N() uint64 { return m.n }
+
+// Value returns the mean, or 0 with no samples.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// MarshalJSON emits the sample count and mean (the fields are otherwise
+// unexported), so results embed cleanly in JSON reports.
+func (m Mean) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		N    uint64  `json:"n"`
+		Mean float64 `json:"mean"`
+	}{m.n, m.Value()})
+}
+
+// MarshalJSON emits bucket bounds, counts and summary statistics.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	bounds, counts, overflow := h.Buckets()
+	return json.Marshal(struct {
+		Bounds   []uint64 `json:"bounds"`
+		Counts   []uint64 `json:"counts"`
+		Overflow uint64   `json:"overflow"`
+		Total    uint64   `json:"total"`
+		Mean     float64  `json:"mean"`
+		Max      uint64   `json:"max"`
+	}{bounds, counts, overflow, h.Count(), h.Mean(), h.Max()})
+}
+
+// Ratio is a convenience hit/total pair.
+type Ratio struct {
+	Hits  uint64
+	Total uint64
+}
+
+// Hit records a hit (also counts toward Total).
+func (r *Ratio) Hit() { r.Hits++; r.Total++ }
+
+// Miss records a miss.
+func (r *Ratio) Miss() { r.Total++ }
+
+// Rate returns Hits/Total, or 0 when empty.
+func (r *Ratio) Rate() float64 { return frac(r.Hits, r.Total) }
+
+// Misses returns Total - Hits.
+func (r *Ratio) Misses() uint64 { return r.Total - r.Hits }

@@ -1,0 +1,71 @@
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Span is one labeled interval on a Gantt row.
+type Span struct {
+	Row        int
+	Start, End uint64
+	Label      rune
+}
+
+// Gantt renders spans as a text timeline, one row per resource (e.g.
+// page table walker), compressing time to at most width columns. Spans
+// draw their label rune; overlaps within a cell keep the earlier span's
+// label. Used to reproduce the paper's Figure 4 service-order cartoons
+// from real simulations.
+func Gantt(w io.Writer, title string, rows int, spans []Span, width int) {
+	if width <= 0 {
+		width = 72
+	}
+	fmt.Fprintf(w, "\n%s\n", title)
+	if len(spans) == 0 || rows <= 0 {
+		fmt.Fprintln(w, "(no spans)")
+		return
+	}
+	minT, maxT := spans[0].Start, spans[0].End
+	for _, s := range spans {
+		if s.Start < minT {
+			minT = s.Start
+		}
+		if s.End > maxT {
+			maxT = s.End
+		}
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	scale := float64(width) / float64(maxT-minT)
+	col := func(t uint64) int {
+		c := int(float64(t-minT) * scale)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range spans {
+		if s.Row < 0 || s.Row >= rows {
+			continue
+		}
+		c0, c1 := col(s.Start), col(s.End)
+		for c := c0; c <= c1 && c < width; c++ {
+			if grid[s.Row][c] == ' ' {
+				grid[s.Row][c] = s.Label
+			}
+		}
+	}
+	for r := range grid {
+		fmt.Fprintf(w, "walker %d |%s|\n", r, string(grid[r]))
+	}
+	fmt.Fprintf(w, "         %d%s%d cycles\n", minT,
+		strings.Repeat(" ", max(width-len(fmt.Sprint(minT))-len(fmt.Sprint(maxT)), 1)), maxT)
+}

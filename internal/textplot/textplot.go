@@ -1,0 +1,107 @@
+// Package textplot renders small horizontal bar charts as text, so the
+// paperfigs tool can show figure *shapes* (who wins, by how much) in a
+// terminal next to the numeric tables.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Options controls bar rendering.
+type Options struct {
+	// Width is the maximum bar width in runes (default 40).
+	Width int
+	// Ref draws a reference tick at this value when > 0 (e.g. 1.0 for
+	// normalized figures), so bars above/below baseline read instantly.
+	Ref float64
+	// Format renders the numeric value (default "%.3f").
+	Format func(float64) string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 40
+	}
+	if o.Format == nil {
+		o.Format = func(v float64) string { return fmt.Sprintf("%.3f", v) }
+	}
+	return o
+}
+
+// HBar writes a horizontal bar chart of labeled values.
+func HBar(w io.Writer, title string, labels []string, values []float64, opts Options) {
+	if len(labels) != len(values) {
+		panic("textplot: labels and values length mismatch")
+	}
+	opts = opts.withDefaults()
+
+	maxV := opts.Ref
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+
+	fmt.Fprintf(w, "\n%s\n", title)
+	refCol := -1
+	if opts.Ref > 0 {
+		refCol = scale(opts.Ref, maxV, opts.Width)
+	}
+	for i, v := range values {
+		bar := renderBar(v, maxV, opts.Width, refCol)
+		fmt.Fprintf(w, "%-*s |%s %s\n", labelW, labels[i], bar, opts.Format(v))
+	}
+	if opts.Ref > 0 {
+		fmt.Fprintf(w, "%-*s |%s^ %s\n", labelW, "",
+			strings.Repeat(" ", max(refCol-1, 0)), opts.Format(opts.Ref))
+	}
+}
+
+// scale maps v onto [0, width] columns.
+func scale(v, maxV float64, width int) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	c := int(math.Round(v / maxV * float64(width)))
+	if c > width {
+		c = width
+	}
+	return c
+}
+
+// renderBar draws one bar, overlaying the reference tick when it falls
+// beyond the bar's end.
+func renderBar(v, maxV float64, width, refCol int) string {
+	n := scale(v, maxV, width)
+	cells := make([]rune, width)
+	for i := range cells {
+		switch {
+		case i < n:
+			cells[i] = '█'
+		case i == refCol-1 && refCol > n:
+			cells[i] = '·'
+		default:
+			cells[i] = ' '
+		}
+	}
+	return string(cells)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

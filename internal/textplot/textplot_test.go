@@ -1,0 +1,115 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHBarBasic(t *testing.T) {
+	var buf bytes.Buffer
+	HBar(&buf, "test chart", []string{"aa", "b"}, []float64{2, 1}, Options{Width: 10})
+	out := buf.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // title + 2 bars
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// The larger value gets the longer bar.
+	aBlocks := strings.Count(lines[1], "█")
+	bBlocks := strings.Count(lines[2], "█")
+	if aBlocks != 10 || bBlocks != 5 {
+		t.Errorf("bar lengths = %d, %d; want 10, 5", aBlocks, bBlocks)
+	}
+	// Labels are aligned.
+	if !strings.HasPrefix(lines[1], "aa |") || !strings.HasPrefix(lines[2], "b  |") {
+		t.Errorf("label alignment broken:\n%s", out)
+	}
+}
+
+func TestHBarReferenceLine(t *testing.T) {
+	var buf bytes.Buffer
+	HBar(&buf, "norm", []string{"x", "y"}, []float64{0.5, 2.0}, Options{Width: 20, Ref: 1})
+	out := buf.String()
+	// A bar below the reference shows the tick beyond its end.
+	if !strings.Contains(out, "·") {
+		t.Errorf("reference tick missing:\n%s", out)
+	}
+	// The footer marks the reference value.
+	if !strings.Contains(out, "^ 1.000") {
+		t.Errorf("reference footer missing:\n%s", out)
+	}
+}
+
+func TestHBarZeroAndNegative(t *testing.T) {
+	var buf bytes.Buffer
+	HBar(&buf, "edge", []string{"zero", "neg"}, []float64{0, -3}, Options{Width: 8})
+	out := buf.String()
+	if strings.Count(out, "█") != 0 {
+		t.Errorf("non-positive values drew bars:\n%s", out)
+	}
+}
+
+func TestHBarMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	HBar(&bytes.Buffer{}, "bad", []string{"a"}, nil, Options{})
+}
+
+func TestHBarCustomFormat(t *testing.T) {
+	var buf bytes.Buffer
+	HBar(&buf, "fmt", []string{"a"}, []float64{1234},
+		Options{Format: func(v float64) string { return "X" }})
+	if !strings.Contains(buf.String(), " X") {
+		t.Error("custom format ignored")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	var buf bytes.Buffer
+	spans := []Span{
+		{Row: 0, Start: 0, End: 50, Label: 'A'},
+		{Row: 1, Start: 25, End: 75, Label: 'B'},
+		{Row: 0, Start: 60, End: 100, Label: 'B'},
+	}
+	Gantt(&buf, "timeline", 2, spans, 40)
+	out := buf.String()
+	if !strings.Contains(out, "timeline") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, 2 rows, axis
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "A") || !strings.Contains(lines[1], "B") {
+		t.Errorf("row 0 missing spans: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "B") || strings.Contains(lines[2], "A") {
+		t.Errorf("row 1 content wrong: %q", lines[2])
+	}
+	// Axis shows the extremes.
+	if !strings.Contains(lines[3], "0") || !strings.Contains(lines[3], "100") {
+		t.Errorf("axis missing bounds: %q", lines[3])
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Gantt(&buf, "empty", 2, nil, 40)
+	if !strings.Contains(buf.String(), "(no spans)") {
+		t.Error("empty gantt not handled")
+	}
+}
+
+func TestGanttOutOfRangeRowIgnored(t *testing.T) {
+	var buf bytes.Buffer
+	Gantt(&buf, "oob", 1, []Span{{Row: 5, Start: 0, End: 1, Label: 'X'}}, 10)
+	if strings.Contains(buf.String(), "X") {
+		t.Error("out-of-range row rendered")
+	}
+}

@@ -1,0 +1,238 @@
+// Package tlb models translation lookaside buffers: set-associative or
+// fully-associative caches of virtual-page to physical-frame mappings
+// with true-LRU replacement.
+//
+// A TLB here is purely structural — lookups and fills are synchronous
+// mutations. The surrounding models (internal/gpu for the GPU hierarchy,
+// internal/iommu for the IOMMU TLBs) add lookup latency, port contention
+// and miss handling, because those differ per level.
+package tlb
+
+import (
+	"fmt"
+
+	"gpuwalk/internal/stats"
+)
+
+// Replacement selects a TLB replacement policy.
+type Replacement int
+
+// Replacement policies.
+const (
+	// LRU evicts the least-recently-used entry (default).
+	LRU Replacement = iota
+	// FIFO evicts the oldest-inserted entry regardless of use.
+	FIFO
+	// RandomRepl evicts a pseudo-random entry (deterministic stream).
+	RandomRepl
+)
+
+// String implements fmt.Stringer.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case RandomRepl:
+		return "random"
+	}
+	return fmt.Sprintf("Replacement(%d)", int(r))
+}
+
+// Config describes one TLB.
+type Config struct {
+	Name    string
+	Entries int
+	Ways    int // 0 means fully associative
+	// Repl selects the replacement policy (default LRU).
+	Repl Replacement
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("tlb %s: Entries must be positive, got %d", c.Name, c.Entries)
+	}
+	ways := c.Ways
+	if ways == 0 {
+		ways = c.Entries
+	}
+	if c.Entries%ways != 0 {
+		return fmt.Errorf("tlb %s: Entries (%d) must be a multiple of Ways (%d)", c.Name, c.Entries, ways)
+	}
+	sets := c.Entries / ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("tlb %s: set count %d must be a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+type entry struct {
+	vpn   uint64
+	pfn   uint64
+	valid bool
+	used  uint64 // LRU stamp
+}
+
+type set struct {
+	entries []entry
+}
+
+// Stats counts TLB activity.
+type Stats struct {
+	Lookups   stats.Ratio
+	Fills     uint64
+	Evictions uint64
+}
+
+// TLB is one translation lookaside buffer.
+type TLB struct {
+	cfg     Config
+	sets    []set
+	setMask uint64
+	clock   uint64
+	rng     uint64 // random-replacement stream state
+	stats   Stats
+}
+
+// New builds a TLB. Panics on invalid config; use Config.Validate for
+// graceful checking.
+func New(cfg Config) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	ways := cfg.Ways
+	if ways == 0 {
+		ways = cfg.Entries
+	}
+	nsets := cfg.Entries / ways
+	t := &TLB{cfg: cfg, sets: make([]set, nsets), setMask: uint64(nsets - 1), rng: 0x9e3779b97f4a7c15}
+	for i := range t.sets {
+		t.sets[i].entries = make([]entry, ways)
+	}
+	return t
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// Config returns the TLB configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Lookup searches for vpn. On a hit it returns the cached pfn, updates
+// recency state (under LRU), and records a hit; on a miss it records a
+// miss.
+func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
+	s := &t.sets[vpn&t.setMask]
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.valid && e.vpn == vpn {
+			if t.cfg.Repl == LRU {
+				t.clock++
+				e.used = t.clock
+			}
+			t.stats.Lookups.Hit()
+			return e.pfn, true
+		}
+	}
+	t.stats.Lookups.Miss()
+	return 0, false
+}
+
+// Probe reports whether vpn is resident without updating LRU or stats.
+func (t *TLB) Probe(vpn uint64) bool {
+	s := &t.sets[vpn&t.setMask]
+	for i := range s.entries {
+		if s.entries[i].valid && s.entries[i].vpn == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs vpn→pfn, evicting per the configured replacement
+// policy if the set is full. Inserting an already-present vpn refreshes
+// its pfn (and its recency under LRU).
+func (t *TLB) Insert(vpn, pfn uint64) {
+	s := &t.sets[vpn&t.setMask]
+	t.clock++
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.valid && e.vpn == vpn {
+			e.pfn = pfn
+			if t.cfg.Repl == LRU {
+				e.used = t.clock
+			}
+			return
+		}
+	}
+	victim := -1
+	for i := range s.entries {
+		if !s.entries[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		victim = t.pickVictim(s)
+		t.stats.Evictions++
+	}
+	s.entries[victim] = entry{vpn: vpn, pfn: pfn, valid: true, used: t.clock}
+	t.stats.Fills++
+}
+
+// pickVictim selects a valid entry to evict from a full set.
+func (t *TLB) pickVictim(s *set) int {
+	switch t.cfg.Repl {
+	case RandomRepl:
+		// xorshift64*: cheap deterministic stream seeded by the clock.
+		t.rng ^= t.rng << 13
+		t.rng ^= t.rng >> 7
+		t.rng ^= t.rng << 17
+		return int(t.rng % uint64(len(s.entries)))
+	default: // LRU and FIFO both evict the smallest stamp; they differ
+		// in whether Lookup refreshes it.
+		victim := 0
+		for i := range s.entries {
+			if s.entries[i].used < s.entries[victim].used {
+				victim = i
+			}
+		}
+		return victim
+	}
+}
+
+// Invalidate removes vpn if present, reporting whether it was resident.
+func (t *TLB) Invalidate(vpn uint64) bool {
+	s := &t.sets[vpn&t.setMask]
+	for i := range s.entries {
+		if s.entries[i].valid && s.entries[i].vpn == vpn {
+			s.entries[i] = entry{}
+			return true
+		}
+	}
+	return false
+}
+
+// Flush empties the TLB.
+func (t *TLB) Flush() {
+	for i := range t.sets {
+		for j := range t.sets[i].entries {
+			t.sets[i].entries[j] = entry{}
+		}
+	}
+}
+
+// Occupancy returns the number of valid entries.
+func (t *TLB) Occupancy() int {
+	n := 0
+	for i := range t.sets {
+		for j := range t.sets[i].entries {
+			if t.sets[i].entries[j].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

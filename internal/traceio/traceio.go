@@ -1,0 +1,86 @@
+// Package traceio saves and loads workload traces. Traces are encoded
+// with encoding/gob and compressed with gzip, both from the standard
+// library, so generated workloads can be archived, shipped and replayed
+// bit-identically (see cmd/tracegen and examples/tracereplay).
+package traceio
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"gpuwalk/internal/workload"
+)
+
+// magic guards against feeding arbitrary gzip files to Load.
+const magic = "gpuwalk-trace-v1"
+
+// header is the stream preamble.
+type header struct {
+	Magic string
+	Name  string
+}
+
+// Save writes tr to w.
+func Save(w io.Writer, tr *workload.Trace) error {
+	zw := gzip.NewWriter(w)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(header{Magic: magic, Name: tr.Name}); err != nil {
+		return fmt.Errorf("traceio: encoding header: %w", err)
+	}
+	if err := enc.Encode(tr); err != nil {
+		return fmt.Errorf("traceio: encoding trace: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("traceio: flushing: %w", err)
+	}
+	return nil
+}
+
+// Load reads a trace written by Save.
+func Load(r io.Reader) (*workload.Trace, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("traceio: opening gzip stream: %w", err)
+	}
+	defer zr.Close()
+	dec := gob.NewDecoder(zr)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("traceio: decoding header: %w", err)
+	}
+	if h.Magic != magic {
+		return nil, fmt.Errorf("traceio: not a gpuwalk trace (magic %q)", h.Magic)
+	}
+	var tr workload.Trace
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("traceio: decoding trace: %w", err)
+	}
+	return &tr, nil
+}
+
+// SaveFile writes tr to the named file, creating or truncating it.
+func SaveFile(path string, tr *workload.Trace) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return Save(f, tr)
+}
+
+// LoadFile reads a trace from the named file.
+func LoadFile(path string) (*workload.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

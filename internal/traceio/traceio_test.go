@@ -1,0 +1,121 @@
+package traceio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"path/filepath"
+	"testing"
+
+	"gpuwalk/internal/workload"
+)
+
+func sampleTrace(t *testing.T) *workload.Trace {
+	t.Helper()
+	g, err := workload.ByName("MVT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Generate(workload.GenConfig{
+		CUs: 2, WavefrontsPerCU: 2, InstrsPerWavefront: 4, Scale: 0.05, Seed: 7,
+	})
+}
+
+func tracesEqual(a, b *workload.Trace) bool {
+	if a.Name != b.Name || a.Irregular != b.Irregular ||
+		a.Footprint != b.Footprint || len(a.Wavefronts) != len(b.Wavefronts) {
+		return false
+	}
+	for wi := range a.Wavefronts {
+		wa, wb := &a.Wavefronts[wi], &b.Wavefronts[wi]
+		if wa.CU != wb.CU || len(wa.Instrs) != len(wb.Instrs) {
+			return false
+		}
+		for ii := range wa.Instrs {
+			ia, ib := &wa.Instrs[ii], &wb.Instrs[ii]
+			if ia.Write != ib.Write || len(ia.Lanes) != len(ib.Lanes) {
+				return false
+			}
+			for li := range ia.Lanes {
+				if ia.Lanes[li] != ib.Lanes[li] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundtrip(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Error("trace changed through save/load roundtrip")
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	tr := sampleTrace(t)
+	path := filepath.Join(t.TempDir(), "t.trace")
+	if err := SaveFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Error("trace changed through file roundtrip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Error("garbage input accepted")
+	}
+}
+
+func TestLoadRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(header{Magic: "something-else"}); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+	if _, err := Load(&buf); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing file did not error")
+	}
+}
+
+func TestCompression(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// The encoded trace should be much smaller than the raw lane data
+	// (structured addresses compress well).
+	rawBytes := 0
+	for wi := range tr.Wavefronts {
+		for ii := range tr.Wavefronts[wi].Instrs {
+			rawBytes += 8 * len(tr.Wavefronts[wi].Instrs[ii].Lanes)
+		}
+	}
+	if buf.Len() >= rawBytes {
+		t.Errorf("compressed size %d >= raw %d", buf.Len(), rawBytes)
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"gpuwalk/internal/stats"
+)
+
+// Analysis summarizes a trace's memory behaviour: how divergent its
+// instructions are, how much page reuse it carries, and how big its
+// touched set is. It is what `tracegen -inspect` prints and what the
+// generator tests assert against.
+type Analysis struct {
+	Wavefronts   int
+	Instructions int
+
+	// Divergence: unique pages per instruction.
+	MeanPagesPerInstr float64
+	MaxPagesPerInstr  int
+	// DivergenceHist buckets instructions by unique-page count
+	// (1, 2, 4, 8, 16, 32, 64, 128).
+	DivergenceHist *stats.Histogram
+
+	// TouchedPages is the distinct 4 KB page count (the real footprint).
+	TouchedPages int
+	// PageReuse is the fraction of page references that revisit a page
+	// the trace touched before (0 = pure streaming, →1 = heavy reuse).
+	PageReuse float64
+	// WriteFraction is the fraction of instructions that store.
+	WriteFraction float64
+	// MeanLinesPerInstr is unique 64 B lines per instruction.
+	MeanLinesPerInstr float64
+}
+
+// Analyze computes the Analysis of tr at the given page granularity.
+func Analyze(tr *Trace, pageBits uint) Analysis {
+	a := Analysis{
+		Wavefronts:     len(tr.Wavefronts),
+		DivergenceHist: stats.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128),
+	}
+	seen := make(map[uint64]struct{})
+	var pageRefs, reuseRefs, writes uint64
+	var totalPages, totalLines int
+	for wi := range tr.Wavefronts {
+		for ii := range tr.Wavefronts[wi].Instrs {
+			in := &tr.Wavefronts[wi].Instrs[ii]
+			a.Instructions++
+			if in.Write {
+				writes++
+			}
+			pages := make(map[uint64]struct{})
+			lines := make(map[uint64]struct{})
+			for _, va := range in.Lanes {
+				pages[va>>pageBits] = struct{}{}
+				lines[va>>6] = struct{}{}
+			}
+			totalPages += len(pages)
+			totalLines += len(lines)
+			if len(pages) > a.MaxPagesPerInstr {
+				a.MaxPagesPerInstr = len(pages)
+			}
+			a.DivergenceHist.Observe(uint64(len(pages)))
+			for p := range pages {
+				pageRefs++
+				if _, ok := seen[p]; ok {
+					reuseRefs++
+				} else {
+					seen[p] = struct{}{}
+				}
+			}
+		}
+	}
+	a.TouchedPages = len(seen)
+	if a.Instructions > 0 {
+		a.MeanPagesPerInstr = float64(totalPages) / float64(a.Instructions)
+		a.MeanLinesPerInstr = float64(totalLines) / float64(a.Instructions)
+		a.WriteFraction = float64(writes) / float64(a.Instructions)
+	}
+	if pageRefs > 0 {
+		a.PageReuse = float64(reuseRefs) / float64(pageRefs)
+	}
+	return a
+}
+
+// Print renders the analysis.
+func (a Analysis) Print(w io.Writer) {
+	fmt.Fprintf(w, "wavefronts        %d\n", a.Wavefronts)
+	fmt.Fprintf(w, "instructions      %d\n", a.Instructions)
+	fmt.Fprintf(w, "pages/instr       mean %.1f, max %d\n", a.MeanPagesPerInstr, a.MaxPagesPerInstr)
+	fmt.Fprintf(w, "lines/instr       mean %.1f\n", a.MeanLinesPerInstr)
+	fmt.Fprintf(w, "touched pages     %d (%.1f MB)\n", a.TouchedPages, float64(a.TouchedPages)*4096/(1024*1024))
+	fmt.Fprintf(w, "page reuse        %.3f of page references\n", a.PageReuse)
+	fmt.Fprintf(w, "write instrs      %.3f\n", a.WriteFraction)
+	fmt.Fprintf(w, "divergence histogram (pages/instr: instructions):\n%s", a.DivergenceHist)
+}

@@ -1,0 +1,661 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuwalk/internal/xrand"
+)
+
+// GenConfig controls trace generation. The zero value is usable:
+// WithDefaults fills unset fields with the Table I machine shape and a
+// scaled-down run length.
+type GenConfig struct {
+	CUs                int
+	WavefrontsPerCU    int // wavefronts generated per CU
+	WavefrontWidth     int
+	InstrsPerWavefront int
+	// Scale multiplies the Table II memory footprint. Scaled runs keep
+	// the page working set far above TLB reach, which is what the
+	// paper's effects depend on; 1.0 reproduces the full footprints.
+	Scale float64
+	Seed  uint64
+}
+
+// WithDefaults returns cfg with zero fields replaced by defaults.
+func (c GenConfig) WithDefaults() GenConfig {
+	if c.CUs == 0 {
+		c.CUs = 8
+	}
+	if c.WavefrontsPerCU == 0 {
+		// Scaled-run occupancy: enough concurrency for streams to
+		// contend and interleave, low enough that the TLB hierarchy is
+		// stressed rather than hopelessly saturated (see DESIGN.md).
+		c.WavefrontsPerCU = 6
+	}
+	if c.WavefrontWidth == 0 {
+		c.WavefrontWidth = 64
+	}
+	if c.InstrsPerWavefront == 0 {
+		c.InstrsPerWavefront = 24
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.125
+	}
+	return c
+}
+
+// Generator describes one benchmark and builds its trace.
+type Generator struct {
+	Name        string
+	Abbrev      string
+	Description string
+	Irregular   bool
+	// BaseFootprint is the Table II memory footprint in bytes.
+	BaseFootprint uint64
+
+	build func(b *builder)
+}
+
+// Generate builds the trace for this benchmark.
+func (g *Generator) Generate(cfg GenConfig) *Trace {
+	cfg = cfg.WithDefaults()
+	fp := uint64(float64(g.BaseFootprint) * cfg.Scale)
+	b := &builder{
+		cfg:    cfg,
+		fp:     fp,
+		fullFP: g.BaseFootprint,
+		rng:    xrand.New(cfg.Seed ^ hashName(g.Abbrev)),
+		tr: &Trace{
+			Name:      g.Abbrev,
+			Irregular: g.Irregular,
+			Footprint: fp,
+		},
+	}
+	g.build(b)
+	return b.tr
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mb converts Table II's decimal megabytes to bytes.
+func mb(v float64) uint64 { return uint64(v * 1024 * 1024) }
+
+// builder assembles a trace wavefront by wavefront.
+//
+// fp is the scaled footprint (how much memory the trace touches); fullFP
+// is the Table II footprint. Generators size *virtual address spans* —
+// matrix row strides, gather table extents — from fullFP so that
+// upper-level page-table pressure (PD/PDPT entries, and therefore page
+// walk cache behaviour) matches a full-footprint run, while only
+// touching fp bytes of pages.
+type builder struct {
+	cfg    GenConfig
+	fp     uint64
+	fullFP uint64
+	rng    *xrand.Rand
+	tr     *Trace
+
+	vaNext uint64
+}
+
+// region reserves size bytes of virtual address space, 2 MB aligned with
+// a guard gap, so distinct data structures never share pages.
+func (b *builder) region(size uint64) uint64 {
+	const align = 2 << 20
+	if b.vaNext == 0 {
+		b.vaNext = 1 << 32
+	}
+	base := (b.vaNext + align - 1) &^ (align - 1)
+	b.vaNext = base + size + align
+	return base
+}
+
+// eachWavefront runs f once per generated wavefront, round-robin over
+// CUs, giving each wavefront its own deterministic RNG stream.
+func (b *builder) eachWavefront(f func(w *wfBuilder)) {
+	total := b.cfg.CUs * b.cfg.WavefrontsPerCU
+	for g := 0; g < total; g++ {
+		w := &wfBuilder{
+			b:     b,
+			gid:   g,
+			cu:    g % b.cfg.CUs,
+			width: b.cfg.WavefrontWidth,
+			rng:   xrand.New(b.rng.Uint64()),
+		}
+		f(w)
+		b.tr.Wavefronts = append(b.tr.Wavefronts, WavefrontTrace{
+			CU:     w.cu,
+			Instrs: w.instrs,
+		})
+	}
+}
+
+// wfBuilder emits one wavefront's instructions.
+type wfBuilder struct {
+	b      *builder
+	gid    int
+	cu     int
+	width  int
+	rng    *xrand.Rand
+	instrs []MemInstr
+}
+
+// emit appends one instruction with the given per-lane addresses.
+func (w *wfBuilder) emit(lanes []uint64, write bool) {
+	w.instrs = append(w.instrs, MemInstr{Lanes: lanes, Write: write})
+}
+
+// divergentRow emits a SIMD load where lane l accesses
+// base + (row0+l)*rowStride + elemOff*elemSize: the column-walk pattern
+// of a workitem-per-row matrix kernel. With rowStride >= a page, every
+// lane touches a distinct page — full memory-access divergence.
+func (w *wfBuilder) divergentRow(base, rowStride uint64, row0 int, elemOff, elemSize uint64) {
+	lanes := make([]uint64, w.width)
+	for l := range lanes {
+		lanes[l] = base + uint64(row0+l)*rowStride + elemOff*elemSize
+	}
+	w.emit(lanes, false)
+}
+
+// coalesced emits a fully-coalesced SIMD access: lane l accesses
+// base + (idx*width + l)*elemSize, so all lanes share one or two lines'
+// worth of a single page.
+func (w *wfBuilder) coalesced(base, idx, elemSize uint64, write bool) {
+	lanes := make([]uint64, w.width)
+	for l := range lanes {
+		lanes[l] = base + (idx*uint64(w.width)+uint64(l))*elemSize
+	}
+	w.emit(lanes, write)
+}
+
+// gather emits a fully-random gather: every lane accesses a uniformly
+// random element in [base, base+size).
+func (w *wfBuilder) gather(base, size, elemSize uint64) {
+	n := size / elemSize
+	lanes := make([]uint64, w.width)
+	for l := range lanes {
+		lanes[l] = base + w.rng.Uint64n(n)*elemSize
+	}
+	w.emit(lanes, false)
+}
+
+// driftGather models particle-history locality: each lane keeps a
+// position in the table and each instruction moves it by a bounded
+// random step. Lanes stay divergent (distinct pages) but revisit nearby
+// pages across instructions, the way XSBench's per-particle energy
+// lookups stay correlated between events.
+type driftGather struct {
+	pos []uint64
+}
+
+func newDriftGather(w *wfBuilder, size uint64) *driftGather {
+	d := &driftGather{pos: make([]uint64, w.width)}
+	for l := range d.pos {
+		d.pos[l] = w.rng.Uint64n(size)
+	}
+	return d
+}
+
+// step emits one gather instruction, drifting every lane by up to
+// maxStep bytes in either direction (wrapping within [base, base+size)).
+func (d *driftGather) step(w *wfBuilder, base, size, elemSize, maxStep uint64) {
+	lanes := make([]uint64, w.width)
+	for l := range lanes {
+		delta := w.rng.Uint64n(2*maxStep+1) - maxStep // may wrap; modulo below fixes it
+		d.pos[l] = (d.pos[l] + delta) % size
+		lanes[l] = base + d.pos[l]/elemSize*elemSize
+	}
+	w.emit(lanes, false)
+}
+
+// windowGather emits a gather restricted to a small window of the
+// region, producing divergence without a large page working set (the
+// regular graph workloads).
+func (w *wfBuilder) windowGather(base, size, window, elemSize uint64) {
+	if window > size {
+		window = size
+	}
+	start := uint64(0)
+	if size > window {
+		start = w.rng.Uint64n(size-window) / elemSize * elemSize
+	}
+	w.gather(base+start, window, elemSize)
+}
+
+// squareDim returns the side length N of an NxN matrix of elemSize
+// entries filling about bytes bytes.
+func squareDim(bytes, elemSize uint64) uint64 {
+	n := uint64(math.Sqrt(float64(bytes) / float64(elemSize)))
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// streamRole emits an entire coalesced streaming wavefront over a
+// private block of the given region: the "light" kernel of a two-kernel
+// benchmark (e.g. the coalesced transpose phase of MVT, the q = A*p
+// phase of BiCG). Its instructions touch one page each with strong
+// reuse, so they generate the paper's 1-16-access instruction
+// population and keep translation demand in the latency-sensitive
+// regime rather than saturating the walkers.
+func (w *wfBuilder) streamRole(base, size, elemSize uint64) {
+	b := w.b
+	total := uint64(b.cfg.CUs * b.cfg.WavefrontsPerCU)
+	block := size / total
+	perInstr := uint64(w.width) * elemSize
+	if block < perInstr {
+		block = perInstr
+	}
+	start := base + uint64(w.gid)*block
+	steps := block / perInstr
+	for i := 0; i < b.cfg.InstrsPerWavefront; i++ {
+		w.coalesced(start, uint64(i)%steps, elemSize, false)
+	}
+}
+
+// spreadRow places wavefront gid's row block when only avail of full
+// rows are touched (scaled run): blocks are spread uniformly across the
+// full row range so the virtual-address span — and with it the
+// upper-level page-table pressure — matches an unscaled run.
+func spreadRow(gid, width int, avail, full uint64) int {
+	if full <= 2*uint64(width) {
+		return 0
+	}
+	spread := full / avail
+	if spread == 0 {
+		spread = 1
+	}
+	return int((uint64(gid) * uint64(width) * spread) % (full - uint64(width)))
+}
+
+// --- Benchmark definitions -------------------------------------------
+
+// Registry returns all twelve Table II benchmark generators, irregular
+// first, in the paper's order.
+func Registry() []*Generator {
+	return []*Generator{
+		xsbench(), mvt(), atax(), nw(), bicg(), gesummv(),
+		sssp(), mis(), color(), backprop(), kmeans(), hotspot(),
+	}
+}
+
+// Names returns the benchmark abbreviations in Registry order.
+func Names() []string {
+	gens := Registry()
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.Abbrev
+	}
+	return out
+}
+
+// IrregularNames returns the six irregular benchmark abbreviations.
+func IrregularNames() []string {
+	var out []string
+	for _, g := range Registry() {
+		if g.Irregular {
+			out = append(out, g.Abbrev)
+		}
+	}
+	return out
+}
+
+// ByName looks a generator up by abbreviation (case-sensitive).
+func ByName(name string) (*Generator, error) {
+	for _, g := range Registry() {
+		if g.Abbrev == name {
+			return g, nil
+		}
+	}
+	names := Names()
+	sort.Strings(names)
+	return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, names)
+}
+
+// xsbench: Monte Carlo neutronics — each lookup samples a random nuclide
+// grid point, a nearly uniform gather over a ~212 MB table. Maximum
+// divergence, no reuse.
+func xsbench() *Generator {
+	return &Generator{
+		Name: "XSBench", Abbrev: "XSB", Irregular: true,
+		Description:   "Monte Carlo neutronics macro-XS lookup",
+		BaseFootprint: mb(212.25),
+		build: func(b *builder) {
+			// Gathers span the full-size table: the number of touched
+			// pages is set by the access count, not the span, and the
+			// full span reproduces real PWC pressure.
+			tableSize := b.fullFP * 9 / 10
+			table := b.region(tableSize)
+			index := b.region(b.fp / 10)
+			b.eachWavefront(func(w *wfBuilder) {
+				// One wavefront in four streams particle state
+				// coalesced; the rest do the divergent grid lookups.
+				// Lookups drift with each particle's energy, so lanes
+				// are fully divergent but revisit nearby pages.
+				if w.gid%4 == 3 {
+					w.streamRole(index, b.fp/10, 4)
+					return
+				}
+				d := newDriftGather(w, tableSize)
+				for i := 0; i < b.cfg.InstrsPerWavefront; i++ {
+					if i%8 == 7 {
+						w.coalesced(index, uint64(w.gid*b.cfg.InstrsPerWavefront+i), 4, false)
+					} else {
+						d.step(w, table, tableSize, 8, 1024)
+					}
+				}
+			})
+		},
+	}
+}
+
+// mvt: x1 = x1 + A*y1 with one workitem per row — lane l walks row
+// (row0+l) of A, so each divergent load touches width distinct pages,
+// revisited every iteration (strong intra-wavefront reuse, working set
+// far beyond TLB reach).
+func mvt() *Generator {
+	return &Generator{
+		Name: "MVT", Abbrev: "MVT", Irregular: true,
+		Description:   "Matrix vector product and transpose",
+		BaseFootprint: mb(128.14),
+		build: func(b *builder) {
+			n := squareDim(b.fp, 8)         // rows touched (scaled)
+			nFull := squareDim(b.fullFP, 8) // row stride (full span)
+			a := b.region(nFull * nFull * 8)
+			y := b.region(nFull * 8)
+			yIdxMax := n / uint64(b.cfg.WavefrontWidth)
+			b.eachWavefront(func(w *wfBuilder) {
+				// MVT's two kernels run concurrently: x1 = x1 + A*y1
+				// (divergent row walk) and x2 = x2 + A^T*y2 (coalesced
+				// column walk). Alternate wavefronts take each role.
+				if w.gid%2 == 1 {
+					w.streamRole(a, n*n*8, 8)
+					return
+				}
+				row0 := spreadRow(w.gid, w.width, n, nFull)
+				off := uint64(w.gid * 3)
+				for i := 0; i < b.cfg.InstrsPerWavefront; i++ {
+					// Each j-iteration is one divergent A[i][j] load
+					// followed by the coalesced y1[j] load.
+					if i%2 == 1 {
+						w.coalesced(y, off%yIdxMax, 8, false)
+					} else {
+						w.divergentRow(a, nFull*8, row0, off, 8)
+						off++
+					}
+				}
+			})
+		},
+	}
+}
+
+// atax: y = A^T (A x). The A^T phase is the divergent column walk; the
+// row set advances every 16 instructions, so page reuse is shorter-lived
+// than MVT's.
+func atax() *Generator {
+	return &Generator{
+		Name: "ATAX", Abbrev: "ATX", Irregular: true,
+		Description:   "Matrix transpose and vector multiplication",
+		BaseFootprint: mb(64.06),
+		build: func(b *builder) {
+			n := squareDim(b.fp, 8)
+			nFull := squareDim(b.fullFP, 8)
+			a := b.region(nFull * nFull * 8)
+			x := b.region(nFull * 8)
+			b.eachWavefront(func(w *wfBuilder) {
+				// The y = A*t phase streams rows coalesced; the A^T
+				// phase is the divergent column walk.
+				if w.gid%2 == 1 {
+					w.streamRole(a, n*n*8, 8)
+					return
+				}
+				row0 := spreadRow(w.gid, w.width, n, nFull)
+				off := uint64(0)
+				for i := 0; i < b.cfg.InstrsPerWavefront; i++ {
+					switch {
+					case i%3 == 2:
+						w.coalesced(x, uint64(i), 8, false)
+					default:
+						if i > 0 && i%16 == 0 {
+							row0 = (row0 + 2*w.width) % int(nFull-uint64(w.width))
+						}
+						w.divergentRow(a, nFull*8, row0, off, 8)
+						off++
+					}
+				}
+			})
+		},
+	}
+}
+
+// nw: Needleman-Wunsch wavefront over a large score matrix. Lanes walk
+// an anti-diagonal: stride of one row plus one column, a few pages
+// apart, so most lanes land on distinct pages; successive diagonals
+// reuse the previous diagonal's pages.
+func nw() *Generator {
+	return &Generator{
+		Name: "NW", Abbrev: "NW", Irregular: true,
+		Description:   "DNA sequence alignment (dynamic programming)",
+		BaseFootprint: mb(531.82),
+		build: func(b *builder) {
+			cols := squareDim(b.fp, 4)
+			colsFull := squareDim(b.fullFP, 4)
+			mtx := b.region(colsFull * colsFull * 4)
+			stride := (colsFull + 1) * 4 // one row down, one column right
+			seqs := b.region(b.fp / 8)
+			b.eachWavefront(func(w *wfBuilder) {
+				// Half the wavefronts stream the input sequences and
+				// reference arrays coalesced; half walk anti-diagonals
+				// of the score matrix.
+				if w.gid%2 == 1 {
+					w.streamRole(seqs, b.fp/8, 4)
+					return
+				}
+				d0 := spreadRow(w.gid, 2*w.width, cols, colsFull)
+				for i := 0; i < b.cfg.InstrsPerWavefront; i++ {
+					if i%2 == 1 {
+						// Left-neighbour read: same rows, previous column
+						// (reuses the same page set).
+						w.divergentRow(mtx, stride, d0, uint64(i/2), 4)
+						continue
+					}
+					lanes := make([]uint64, w.width)
+					for l := range lanes {
+						lanes[l] = mtx + uint64(d0+l)*stride + uint64(i/2)*4 + colsFull*4
+					}
+					w.emit(lanes, true)
+				}
+			})
+		},
+	}
+}
+
+// bicg: the BiCGStab sub-kernel computes s = A^T r (divergent) and
+// q = A p (coalesced row streaming) in alternation.
+func bicg() *Generator {
+	return &Generator{
+		Name: "BICG", Abbrev: "BIC", Irregular: true,
+		Description:   "Sub kernel of BiCGStab linear solver",
+		BaseFootprint: mb(128.11),
+		build: func(b *builder) {
+			n := squareDim(b.fp, 8)
+			nFull := squareDim(b.fullFP, 8)
+			a := b.region(nFull * nFull * 8)
+			p := b.region(nFull * 8)
+			b.eachWavefront(func(w *wfBuilder) {
+				// q = A*p streams rows coalesced; s = A^T*r is the
+				// divergent column walk.
+				if w.gid%2 == 1 {
+					w.streamRole(a, n*n*8, 8)
+					return
+				}
+				row0 := spreadRow(w.gid, w.width, n, nFull)
+				off := uint64(w.gid)
+				for i := 0; i < b.cfg.InstrsPerWavefront; i++ {
+					if i%2 == 1 {
+						w.coalesced(p, uint64(w.gid*b.cfg.InstrsPerWavefront+i)%(n/uint64(w.width)), 8, false)
+					} else {
+						w.divergentRow(a, nFull*8, row0, off, 8)
+						off++
+					}
+				}
+			})
+		},
+	}
+}
+
+// gesummv: y = alpha*A*x + beta*B*x — two matrices walked in
+// alternation, doubling the divergent page working set and thrashing
+// the PWC harder than the single-matrix kernels (the paper's GEV shows
+// the heaviest per-instruction walk cost).
+func gesummv() *Generator {
+	return &Generator{
+		Name: "GESUMMV", Abbrev: "GEV", Irregular: true,
+		Description:   "Scalar, vector and matrix multiplication",
+		BaseFootprint: mb(128.06),
+		build: func(b *builder) {
+			n := squareDim(b.fp/2, 8)
+			nFull := squareDim(b.fullFP/2, 8)
+			a := b.region(nFull * nFull * 8)
+			bb := b.region(nFull * nFull * 8)
+			x := b.region(nFull * 8)
+			results := b.region(b.fp / 4)
+			b.eachWavefront(func(w *wfBuilder) {
+				// Half the wavefronts do the divergent two-matrix walk;
+				// half stream vectors and results. The divergent half is
+				// heavier than the single-matrix kernels because its
+				// page working set alternates between A and B.
+				if w.gid%2 == 1 {
+					w.streamRole(results, b.fp/4, 8)
+					return
+				}
+				row0 := spreadRow(w.gid, w.width, n, nFull)
+				off := uint64(0)
+				for i := 0; i < b.cfg.InstrsPerWavefront; i++ {
+					switch i % 4 {
+					case 3:
+						w.coalesced(x, uint64(i), 8, false)
+					default:
+						m := a
+						if i%2 == 1 {
+							m = bb
+						}
+						w.divergentRow(m, nFull*8, row0, off, 8)
+						if i%2 == 1 {
+							off++
+						}
+					}
+				}
+			})
+		},
+	}
+}
+
+// sssp: shortest-path over a CSR graph. The paper classifies it as
+// regular: edge arrays stream coalesced, and the occasional indirect
+// node reads stay within small windows.
+func sssp() *Generator {
+	return regularGraph("SSSP", "SSP", "Shortest path search algorithm", mb(104.32))
+}
+
+// mis: maximal independent set, same regular CSR streaming shape.
+func mis() *Generator {
+	return regularGraph("MIS", "MIS", "Maximal subset search algorithm", mb(72.38))
+}
+
+// color: graph coloring, small footprint regular streaming.
+func color() *Generator {
+	return regularGraph("Color", "CLR", "Graph coloring algorithm", mb(26.68))
+}
+
+func regularGraph(name, abbrev, desc string, fp uint64) *Generator {
+	return &Generator{
+		Name: name, Abbrev: abbrev, Irregular: false,
+		Description:   desc,
+		BaseFootprint: fp,
+		build: func(b *builder) {
+			edges := b.region(b.fp * 3 / 4)
+			nodes := b.region(b.fp / 4)
+			b.eachWavefront(func(w *wfBuilder) {
+				base := uint64(w.gid) * 257
+				for i := 0; i < b.cfg.InstrsPerWavefront; i++ {
+					if i%8 == 7 {
+						// Neighbour lookups within a 64 KB window: some
+						// lane divergence, tiny page working set.
+						w.windowGather(nodes, b.fp/4, 64<<10, 4)
+					} else {
+						w.coalesced(edges, (base+uint64(i))%((b.fp*3/4)/(4*uint64(w.width))), 4, false)
+					}
+				}
+			})
+		},
+	}
+}
+
+// backprop: dense layer streaming — each wavefront streams its block of
+// the weight matrix coalesced.
+func backprop() *Generator {
+	return &Generator{
+		Name: "Back Prop.", Abbrev: "BCK", Irregular: false,
+		Description:   "Machine learning algorithm",
+		BaseFootprint: mb(108.03),
+		build:         streamingBuild(4, false),
+	}
+}
+
+// kmeans: clustering with a tiny footprint (4.33 MB) that nearly fits in
+// TLB reach; effectively no translation overhead.
+func kmeans() *Generator {
+	return &Generator{
+		Name: "K-Means", Abbrev: "KMN", Irregular: false,
+		Description:   "Clustering algorithm",
+		BaseFootprint: mb(4.33),
+		build:         streamingBuild(4, false),
+	}
+}
+
+// hotspot: 2D stencil — three coalesced row streams with strong reuse.
+func hotspot() *Generator {
+	return &Generator{
+		Name: "Hotspot", Abbrev: "HOT", Irregular: false,
+		Description:   "Processor thermal simulation algorithm",
+		BaseFootprint: mb(12.02),
+		build:         streamingBuild(4, true),
+	}
+}
+
+// streamingBuild emits per-wavefront coalesced streaming over a private
+// block, optionally writing every other instruction (stencil output).
+func streamingBuild(elemSize uint64, writes bool) func(*builder) {
+	return func(b *builder) {
+		data := b.region(b.fp)
+		emit := func(w *wfBuilder) {
+			total := b.cfg.CUs * b.cfg.WavefrontsPerCU
+			block := b.fp / uint64(total)
+			if block < uint64(w.width)*elemSize {
+				block = uint64(w.width) * elemSize
+			}
+			base := data + uint64(w.gid)*block
+			perInstr := uint64(w.width) * elemSize
+			steps := block / perInstr
+			if steps == 0 {
+				steps = 1
+			}
+			for i := 0; i < b.cfg.InstrsPerWavefront; i++ {
+				write := writes && i%2 == 1
+				w.coalesced(base, uint64(i)%steps, elemSize, write)
+			}
+		}
+		b.eachWavefront(emit)
+	}
+}
