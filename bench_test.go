@@ -9,6 +9,7 @@
 package gpuwalk_test
 
 import (
+	"strconv"
 	"testing"
 
 	"gpuwalk"
@@ -484,29 +485,67 @@ func BenchmarkDRAMAccess(b *testing.B) {
 	eng.Run()
 }
 
+// BenchmarkSchedulerSelect measures steady-state scheduling throughput
+// (one dispatch plus one arrival per iteration, buffer occupancy held
+// at the target size) for the indexed pending buffer against the linear
+// reference, across the ISSUE's buffer sweep. Requests arrive in
+// same-instruction runs of 8, matching the coalescer's bursty miss
+// pattern.
 func BenchmarkSchedulerSelect(b *testing.B) {
-	for _, kind := range []core.Kind{core.KindFCFS, core.KindSIMTAware} {
-		b.Run(string(kind), func(b *testing.B) {
-			s, err := core.New(kind, core.Options{Seed: 1})
-			if err != nil {
-				b.Fatal(err)
-			}
-			// A 256-entry buffer of requests from 8 instructions.
-			var pending []*core.Request
-			for i := 0; i < 256; i++ {
-				r := &core.Request{
-					Instr: core.InstrID(i % 8),
-					Seq:   uint64(i),
-					Est:   1 + i%4,
+	for _, kind := range []core.Kind{core.KindSIMTAware, core.KindCUFair} {
+		for _, entries := range []int{256, 1024, 4096} {
+			for _, ref := range []bool{true, false} {
+				mode := "indexed"
+				if ref {
+					mode = "reference"
 				}
-				pending = append(pending, r)
-				s.OnArrival(r, pending)
+				b.Run(string(kind)+"/"+mode+"/buf-"+strconv.Itoa(entries), func(b *testing.B) {
+					benchSchedulerSteadyState(b, kind, entries, ref)
+				})
 			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				s.Select(pending)
-			}
-		})
+		}
+	}
+}
+
+func benchSchedulerSteadyState(b *testing.B, kind core.Kind, entries int, ref bool) {
+	s, err := core.New(kind, core.Options{Seed: 1, AgingThreshold: 1 << 20, Reference: ref})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, _ := s.(core.IndexedScheduler)
+	var pending []*core.Request
+	seq := uint64(0)
+	admit := func() {
+		seq++
+		instr := core.InstrID(seq / 8)
+		r := &core.Request{
+			Instr: instr,
+			CU:    int(uint64(instr) % 8),
+			Seq:   seq,
+			Est:   1 + int(seq%4),
+		}
+		if ix != nil {
+			ix.Admit(r)
+			return
+		}
+		pending = append(pending, r)
+		s.OnArrival(r, pending)
+	}
+	pick := func() {
+		if ix != nil {
+			ix.Pick()
+			return
+		}
+		i := s.Select(pending)
+		pending = append(pending[:i], pending[i+1:]...)
+	}
+	for i := 0; i < entries; i++ {
+		admit()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pick()
+		admit()
 	}
 }
 

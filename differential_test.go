@@ -1,0 +1,140 @@
+package gpuwalk_test
+
+import (
+	"testing"
+
+	"gpuwalk"
+	"gpuwalk/internal/gpu"
+)
+
+// runRecorded simulates cfg with the walk-schedule recorder on and
+// returns the full dispatch log plus the run result.
+func runRecorded(t *testing.T, cfg gpuwalk.Config, tr *gpuwalk.Trace, reference bool) (gpuwalk.Result, []string) {
+	t.Helper()
+	cfg.IOMMU.RecordSchedule = true
+	cfg.IOMMU.RecordLimit = 1 << 20
+	cfg.SchedOpts.Reference = reference
+	sys, err := gpu.NewSystem(gpu.Params{
+		GPU:       cfg.GPU,
+		DRAM:      cfg.DRAM,
+		IOMMU:     cfg.IOMMU,
+		SchedKind: cfg.Scheduler,
+		SchedOpts: cfg.SchedOpts,
+		Seed:      cfg.Seed,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := sys.IOMMU().ScheduleLog()
+	out := make([]string, 0, len(log))
+	for _, w := range log {
+		out = append(out, walkKey(w.Walker, uint64(w.Start), uint64(w.End), uint64(w.Instr), w.VPN))
+	}
+	return res, out
+}
+
+func walkKey(walker int, start, end, instr, vpn uint64) string {
+	b := make([]byte, 0, 48)
+	for _, v := range []uint64{uint64(walker), start, end, instr, vpn} {
+		b = appendHex(b, v)
+		b = append(b, ':')
+	}
+	return string(b)
+}
+
+func appendHex(b []byte, v uint64) []byte {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [16]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return append(b, tmp[i:]...)
+}
+
+// TestSystemDifferentialIndexedVsReference runs full simulations of
+// several workloads under every built-in policy, once with the indexed
+// pending buffer (the default) and once with the linear reference
+// (SchedOpts.Reference), and asserts the walk dispatch schedules are
+// byte-identical. The tiny buffer and walker pool force heavy overflow
+// traffic, so the strict-FIFO admission path is exercised too.
+func TestSystemDifferentialIndexedVsReference(t *testing.T) {
+	workloads := []string{"MVT", "ATX", "GEV"}
+	for _, wl := range workloads {
+		for _, sk := range gpuwalk.SchedulerKinds() {
+			cfg := microConfig()
+			cfg.Workload = wl
+			cfg.Scheduler = sk
+			cfg.SchedOpts.Seed = 7
+			cfg.SchedOpts.AgingThreshold = 32
+			cfg.IOMMU.BufferEntries = 16
+			cfg.IOMMU.Walkers = 2
+			tr, err := gpuwalk.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRes, refLog := runRecorded(t, cfg, tr, true)
+			ixRes, ixLog := runRecorded(t, cfg, tr, false)
+			if len(refLog) == 0 {
+				t.Fatalf("%s/%s: empty schedule log", wl, sk)
+			}
+			compareLogs(t, wl+"/"+string(sk), refLog, ixLog)
+			if refRes.Cycles != ixRes.Cycles || refRes.StallCycles != ixRes.StallCycles {
+				t.Errorf("%s/%s: cycles %d/%d vs reference %d/%d",
+					wl, sk, ixRes.Cycles, ixRes.StallCycles, refRes.Cycles, refRes.StallCycles)
+			}
+		}
+	}
+}
+
+// TestSystemDifferentialMergeOverflow repeats the differential check
+// with same-VPN merging on and an even smaller buffer, the regime of
+// the overflow-merge fix.
+func TestSystemDifferentialMergeOverflow(t *testing.T) {
+	for _, sk := range []gpuwalk.SchedulerKind{gpuwalk.FCFS, gpuwalk.SIMTAware, gpuwalk.CUFair} {
+		cfg := microConfig()
+		cfg.Workload = "SSP"
+		cfg.Scheduler = sk
+		cfg.SchedOpts.AgingThreshold = 8
+		cfg.IOMMU.BufferEntries = 8
+		cfg.IOMMU.Walkers = 2
+		cfg.IOMMU.MergeSameVPN = true
+		tr, err := gpuwalk.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRes, refLog := runRecorded(t, cfg, tr, true)
+		ixRes, ixLog := runRecorded(t, cfg, tr, false)
+		if len(refLog) == 0 {
+			t.Fatalf("%s: empty schedule log", sk)
+		}
+		compareLogs(t, "SSP/"+string(sk), refLog, ixLog)
+		if refRes.Cycles != ixRes.Cycles {
+			t.Errorf("%s: %d cycles vs reference %d", sk, ixRes.Cycles, refRes.Cycles)
+		}
+	}
+}
+
+func compareLogs(t *testing.T, label string, ref, ix []string) {
+	t.Helper()
+	if len(ref) != len(ix) {
+		t.Errorf("%s: schedule length %d vs reference %d", label, len(ix), len(ref))
+		return
+	}
+	for i := range ref {
+		if ref[i] != ix[i] {
+			t.Errorf("%s: schedules diverge at walk %d: indexed %s, reference %s",
+				label, i, ix[i], ref[i])
+			return
+		}
+	}
+}

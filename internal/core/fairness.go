@@ -139,6 +139,9 @@ func (s *CUFair) commit(pending []*Request, idx int) int {
 		if p.Seq < chosen.Seq {
 			p.passed++
 		}
+		if p.Instr == chosen.Instr && p != chosen {
+			p.Score -= chosen.Est
+		}
 	}
 	return idx
 }

@@ -37,11 +37,19 @@ type Request struct {
 	Est int
 	// Score estimates the total memory accesses needed to service all
 	// pending walks of the issuing instruction (action 1-b). Shared by
-	// every pending request of that instruction.
+	// every pending request of that instruction, and reduced as the
+	// instruction's requests are dispatched: the paper defines it as the
+	// sum over the instruction's *pending* requests.
 	Score int
 
-	// passed counts younger requests scheduled past this one (aging).
+	// passed counts younger requests scheduled past this one (eager
+	// aging, reference schedulers only).
 	passed uint64
+
+	// Index bookkeeping (indexed schedulers only; see index.go).
+	aprev, anext *Request // arrival-ordered pending list links
+	gnext        *Request // per-instruction FIFO link
+	agingBase    uint64   // dispatch-counter stamp for lazy aging
 }
 
 // Scheduler selects the order in which pending walk requests are
@@ -87,13 +95,29 @@ type Options struct {
 	// The paper uses two million on full-length gem5 runs; scaled runs
 	// use a proportionally smaller default. Zero means DefaultAging.
 	AgingThreshold uint64
+	// Reference selects the O(n)-per-operation linear reference
+	// implementations instead of the indexed production ones. The two
+	// produce identical dispatch orders (the differential suite asserts
+	// this); the reference exists as the executable specification.
+	Reference bool
 }
 
 // DefaultAging is the default starvation threshold for scaled runs.
 const DefaultAging = 1 << 20
 
-// New constructs a built-in scheduler.
+// New constructs a built-in scheduler. By default it returns the
+// indexed implementations (see index.go); opt.Reference selects the
+// linear reference implementations below instead.
 func New(kind Kind, opt Options) (Scheduler, error) {
+	if !opt.Reference {
+		return NewIndexed(kind, opt)
+	}
+	return NewReference(kind, opt)
+}
+
+// NewReference constructs the linear reference implementation of a
+// built-in policy (opt.Reference is implied).
+func NewReference(kind Kind, opt Options) (Scheduler, error) {
 	aging := opt.AgingThreshold
 	if aging == 0 {
 		aging = DefaultAging
@@ -270,8 +294,10 @@ func (s *SIMTAware) Select(pending []*Request) int {
 	return s.commit(pending, best)
 }
 
-// commit finalizes a selection: remembers the instruction for batching
-// and ages every request older than the one chosen.
+// commit finalizes a selection: remembers the instruction for batching,
+// ages every request older than the one chosen, and removes the chosen
+// request's estimate from its instruction's shared score so the
+// survivors keep the paper's "sum over pending requests" semantics.
 func (s *SIMTAware) commit(pending []*Request, idx int) int {
 	chosen := pending[idx]
 	s.lastInstr = chosen.Instr
@@ -279,6 +305,9 @@ func (s *SIMTAware) commit(pending []*Request, idx int) int {
 	for _, p := range pending {
 		if p.Seq < chosen.Seq {
 			p.passed++
+		}
+		if p.Instr == chosen.Instr && p != chosen {
+			p.Score -= chosen.Est
 		}
 	}
 	return idx

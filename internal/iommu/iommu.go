@@ -176,10 +176,21 @@ type IOMMU struct {
 	l1 *tlb.TLB
 	l2 *tlb.TLB
 
+	// The pending-walk buffer lives in one of two places: when the
+	// scheduler implements core.IndexedScheduler (the production
+	// default) it owns the pending set itself (ix non-nil, buffer
+	// unused); otherwise the legacy slice path drives the scheduler
+	// through OnArrival/Select scans.
+	ix       core.IndexedScheduler
 	buffer   []*core.Request
 	preQueue []*core.Request // overflow beyond the scheduler window, FIFO
-	seq      uint64          // arrival sequence numbers
-	schedSeq uint64          // global service-order sequence
+	// bufVPNs / preVPNs count pending requests per VPN in the buffer
+	// and the overflow queue, so MergeSameVPN coalesces in O(1) instead
+	// of scanning; maintained only when merging is enabled.
+	bufVPNs  map[uint64]int
+	preVPNs  map[uint64]int
+	seq      uint64 // arrival sequence numbers
+	schedSeq uint64 // global service-order sequence
 
 	idleWalkers int
 	inflight    map[uint64][]*core.Request // VPN -> merged requests (MergeSameVPN)
@@ -226,6 +237,8 @@ func New(eng *sim.Engine, cfg Config, sched core.Scheduler, pt *mmu.PageTable, d
 		cfg:          cfg,
 		eng:          eng,
 		sched:        sched,
+		bufVPNs:      make(map[uint64]int),
+		preVPNs:      make(map[uint64]int),
 		pt:           pt,
 		dram:         dram,
 		pwc:          pwc.New(cfg.PWC),
@@ -238,6 +251,9 @@ func New(eng *sim.Engine, cfg Config, sched core.Scheduler, pt *mmu.PageTable, d
 		prefetched:   make(map[uint64]struct{}),
 		instrs:       make(map[core.InstrID]*instrInfo),
 		walkStart:    make(map[*core.Request]walkSlot),
+	}
+	if ix, ok := sched.(core.IndexedScheduler); ok {
+		io.ix = ix
 	}
 	for i := cfg.Walkers - 1; i >= 0; i-- {
 		io.freeWalkers = append(io.freeWalkers, i)
@@ -265,7 +281,15 @@ func (io *IOMMU) BusyWalkerIntegral() uint64 { return io.busyInt.Total() }
 func (io *IOMMU) FinishStats() { io.busyInt.Finish(io.eng.Now()) }
 
 // Pending returns buffered plus overflow requests (for tests).
-func (io *IOMMU) Pending() int { return len(io.buffer) + len(io.preQueue) }
+func (io *IOMMU) Pending() int { return io.buffered() + len(io.preQueue) }
+
+// buffered returns the scheduler-visible pending count.
+func (io *IOMMU) buffered() int {
+	if io.ix != nil {
+		return io.ix.PendingLen()
+	}
+	return len(io.buffer)
+}
 
 // ScheduleLog returns the recorded walk schedule (requires
 // Config.RecordSchedule).
@@ -312,20 +336,15 @@ func (io *IOMMU) reply(done func(uint64), pfn uint64) {
 // (step 6) or starts it immediately on an idle walker (step 7 shortcut).
 func (io *IOMMU) enqueueWalk(req TranslateReq) {
 	if io.cfg.MergeSameVPN {
-		if lst, ok := io.inflight[req.VPN]; ok {
+		// Merge onto an in-flight walk, a pending (unstarted) walk in
+		// the buffer, or a walk waiting in the overflow queue — all
+		// O(1) map lookups.
+		_, inflight := io.inflight[req.VPN]
+		if inflight || io.bufVPNs[req.VPN] > 0 || io.preVPNs[req.VPN] > 0 {
 			io.stats.Merged++
 			r := io.newRequest(req)
-			io.inflight[req.VPN] = append(lst, r)
+			io.inflight[req.VPN] = append(io.inflight[req.VPN], r)
 			return
-		}
-		// Also merge onto a pending (unstarted) walk of the same VPN.
-		for _, p := range io.buffer {
-			if p.VPN == req.VPN {
-				io.stats.Merged++
-				r := io.newRequest(req)
-				io.inflight[req.VPN] = append(io.inflight[req.VPN], r)
-				return
-			}
 		}
 	}
 	r := io.newRequest(req)
@@ -333,11 +352,19 @@ func (io *IOMMU) enqueueWalk(req TranslateReq) {
 		io.startWalk(r)
 		return
 	}
-	if len(io.buffer) < io.cfg.BufferEntries {
+	// Admission is strictly FIFO: while older requests wait in the
+	// overflow queue, a new arrival may not jump into the buffer even
+	// if a slot is free. This keeps the scheduler-visible buffer in
+	// arrival order, which the indexed schedulers' lazy aging relies
+	// on (see core/index.go).
+	if len(io.preQueue) == 0 && io.buffered() < io.cfg.BufferEntries {
 		io.admit(r)
 		return
 	}
 	io.preQueue = append(io.preQueue, r)
+	if io.cfg.MergeSameVPN {
+		io.preVPNs[req.VPN]++
+	}
 	if len(io.preQueue) > io.stats.PreQueuePeak {
 		io.stats.PreQueuePeak = len(io.preQueue)
 	}
@@ -366,32 +393,75 @@ func (io *IOMMU) upperLevels() int {
 	return mmu.Levels - 1
 }
 
-// admit scores a request (actions 1-a and 1-b of Figure 7) and appends
+// admit scores a request (actions 1-a and 1-b of Figure 7) and hands
 // it to the scheduler-visible buffer.
 func (io *IOMMU) admit(r *core.Request) {
 	r.Est = io.pwc.ProbeN(io.vpn4k(r.VPN), io.upperLevels())
-	io.buffer = append(io.buffer, r)
-	if len(io.buffer) > io.stats.BufferPeak {
-		io.stats.BufferPeak = len(io.buffer)
+	if io.cfg.MergeSameVPN {
+		io.bufVPNs[r.VPN]++
 	}
-	io.sched.OnArrival(r, io.buffer)
+	if io.ix != nil {
+		io.ix.Admit(r)
+	} else {
+		io.buffer = append(io.buffer, r)
+		io.sched.OnArrival(r, io.buffer)
+	}
+	if n := io.buffered(); n > io.stats.BufferPeak {
+		io.stats.BufferPeak = n
+	}
+}
+
+// nextWalk asks the scheduler for the next request and removes it from
+// the pending buffer: O(log n) on the indexed path, the reference
+// O(n) slice splice otherwise.
+func (io *IOMMU) nextWalk() *core.Request {
+	var r *core.Request
+	if io.ix != nil {
+		r = io.ix.Pick()
+	} else {
+		idx := io.sched.Select(io.buffer)
+		r = io.buffer[idx]
+		io.buffer = append(io.buffer[:idx], io.buffer[idx+1:]...)
+	}
+	if io.cfg.MergeSameVPN {
+		if n := io.bufVPNs[r.VPN]; n <= 1 {
+			delete(io.bufVPNs, r.VPN)
+		} else {
+			io.bufVPNs[r.VPN] = n - 1
+		}
+	}
+	return r
+}
+
+// promoteOverflow moves overflow requests into the scheduling window,
+// oldest first, while slots are free.
+func (io *IOMMU) promoteOverflow() {
+	for len(io.preQueue) > 0 && io.buffered() < io.cfg.BufferEntries {
+		r := io.preQueue[0]
+		io.preQueue = io.preQueue[1:]
+		if io.cfg.MergeSameVPN {
+			if n := io.preVPNs[r.VPN]; n <= 1 {
+				delete(io.preVPNs, r.VPN)
+			} else {
+				io.preVPNs[r.VPN] = n - 1
+			}
+		}
+		io.admit(r)
+	}
 }
 
 // walkerFreed is called when a walker finishes; it promotes overflow
 // requests into the scheduling window and dispatches the next walk
 // (action 2-a).
 func (io *IOMMU) walkerFreed() {
-	for len(io.preQueue) > 0 && len(io.buffer) < io.cfg.BufferEntries {
-		r := io.preQueue[0]
-		io.preQueue = io.preQueue[1:]
-		io.admit(r)
-	}
-	if len(io.buffer) == 0 {
+	io.promoteOverflow()
+	if io.buffered() == 0 {
 		return
 	}
-	idx := io.sched.Select(io.buffer)
-	r := io.buffer[idx]
-	io.buffer = append(io.buffer[:idx], io.buffer[idx+1:]...)
+	r := io.nextWalk()
+	// Refill the slot the pick just freed so the scheduler window
+	// stays full while older overflow requests wait.
+	io.promoteOverflow()
 	io.startWalk(r)
 }
 
@@ -408,14 +478,14 @@ func (io *IOMMU) startWalk(r *core.Request) {
 	if _, isPrefetch := io.prefetchReqs[r]; !isPrefetch {
 		io.stats.WalksStarted++
 		io.stats.BufferWait.Add(float64(io.eng.Now() - r.Arrive))
-	}
-	if io.cfg.MergeSameVPN {
-		if _, ok := io.inflight[r.VPN]; !ok {
-			io.inflight[r.VPN] = nil
+		// Demand walks accept same-VPN merges while in flight.
+		// Prefetch walks must not: their completion path replies to
+		// no one, so a request merged onto one would never finish.
+		if io.cfg.MergeSameVPN {
+			if _, ok := io.inflight[r.VPN]; !ok {
+				io.inflight[r.VPN] = nil
+			}
 		}
-	}
-
-	if _, isPrefetch := io.prefetchReqs[r]; !isPrefetch {
 		io.schedSeq++
 		io.noteScheduled(r)
 	}
@@ -537,7 +607,7 @@ func (io *IOMMU) finishWalk(r *core.Request, accesses int) {
 // demand work, a mapped page, and no TLB-resident translation.
 func (io *IOMMU) maybePrefetch(vpn uint64) {
 	if !io.cfg.PrefetchNext || io.idleWalkers == 0 ||
-		len(io.buffer) > 0 || len(io.preQueue) > 0 {
+		io.buffered() > 0 || len(io.preQueue) > 0 {
 		return
 	}
 	if io.l1.Probe(vpn) || io.l2.Probe(vpn) {

@@ -20,11 +20,19 @@ type Quantile struct {
 const quantileBase = 1.07
 
 // bucketBounds precomputes the bucket upper bounds up to ~2^40.
+// Truncating 1.07^k to uint64 yields long runs of duplicate low bounds
+// (ten buckets bounded by 1, then repeats of 2, 3, ...), which would
+// waste buckets and crush resolution for low-latency distributions, so
+// the bounds are deduplicated: each bucket's bound is strictly greater
+// than its predecessor's. Small values therefore get exact unit-wide
+// buckets until the 7% geometric step exceeds 1.
 var bucketBounds = func() []uint64 {
 	var out []uint64
 	v := 1.0
 	for v < float64(uint64(1)<<40) {
-		out = append(out, uint64(v))
+		if b := uint64(v); len(out) == 0 || b > out[len(out)-1] {
+			out = append(out, b)
+		}
 		v *= quantileBase
 	}
 	return out

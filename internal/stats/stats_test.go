@@ -255,3 +255,37 @@ func TestQuickQuantileMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestQuantileBoundsStrictlyIncreasing(t *testing.T) {
+	// Truncating 1.07^k to uint64 used to produce ~10 duplicate
+	// bound-1 buckets (and duplicate low bounds generally); the bounds
+	// must be deduplicated at init so every bucket is distinct.
+	for i := 1; i < len(bucketBounds); i++ {
+		if bucketBounds[i] <= bucketBounds[i-1] {
+			t.Fatalf("bucketBounds[%d] = %d not above bucketBounds[%d] = %d",
+				i, bucketBounds[i], i-1, bucketBounds[i-1])
+		}
+	}
+	if bucketBounds[0] != 1 {
+		t.Errorf("first bound = %d, want 1", bucketBounds[0])
+	}
+}
+
+func TestQuantileSmallValues(t *testing.T) {
+	// Low-latency distributions: every small integer needs its own
+	// bucket, so quantiles of 1..10 are exact, not bound-1 mush.
+	var q Quantile
+	for v := uint64(1); v <= 10; v++ {
+		for i := 0; i < 10; i++ {
+			q.Observe(v)
+		}
+	}
+	for _, c := range []struct {
+		p    float64
+		want uint64
+	}{{0.1, 1}, {0.25, 3}, {0.5, 5}, {0.75, 8}, {0.9, 9}, {1, 10}} {
+		if got := q.Value(c.p); got != c.want {
+			t.Errorf("P%g = %d, want exactly %d", c.p*100, got, c.want)
+		}
+	}
+}
