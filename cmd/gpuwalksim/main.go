@@ -34,6 +34,9 @@ func main() {
 		confFile = flag.String("config", "", "load a JSON config file (flags below still override)")
 		dumpConf = flag.String("dump-config", "", "write the effective config as JSON and exit")
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the run (load in chrome://tracing or Perfetto)")
+		metsOut  = flag.String("metrics", "", "write a per-epoch metrics CSV time series")
+		epoch    = flag.Uint64("epoch", 0, "metrics sampling period in cycles (0 = default 10000)")
 	)
 	flag.Parse()
 
@@ -83,10 +86,32 @@ func main() {
 		return
 	}
 
+	if *traceOut != "" {
+		cfg.Obs.Tracer = gpuwalk.NewTracer()
+	}
+	if *metsOut != "" {
+		cfg.Obs.Metrics = gpuwalk.NewMetrics()
+		cfg.Obs.MetricsEpoch = *epoch
+	}
+
 	res, err := gpuwalk.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpuwalksim: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := cfg.Obs.Tracer.WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "gpuwalksim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", *traceOut, cfg.Obs.Tracer.Len())
+	}
+	if *metsOut != "" {
+		if err := cfg.Obs.Metrics.WriteCSVFile(*metsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "gpuwalksim: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s (%d samples)\n", *metsOut, cfg.Obs.Metrics.Rows())
 	}
 	switch {
 	case *jsonOut:

@@ -3,6 +3,7 @@ package gpuwalk
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -37,11 +38,22 @@ func LoadConfig(path string) (Config, error) {
 		return Config{}, err
 	}
 	defer f.Close()
+	cfg, err := ParseConfig(f)
+	if err != nil {
+		return Config{}, fmt.Errorf("gpuwalk: decoding %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// ParseConfig decodes one JSON config from r. Unknown fields are
+// rejected, so typos in hand-edited files fail loudly instead of being
+// silently ignored.
+func ParseConfig(r io.Reader) (Config, error) {
 	var cfg Config
-	dec := json.NewDecoder(f)
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&cfg); err != nil {
-		return Config{}, fmt.Errorf("gpuwalk: decoding %s: %w", path, err)
+		return Config{}, err
 	}
 	return cfg, nil
 }

@@ -1,0 +1,49 @@
+package gpuwalk_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gpuwalk"
+)
+
+// FuzzConfigParse checks that ParseConfig never panics on arbitrary
+// input, and that anything it accepts re-encodes and re-parses to the
+// same configuration (the SaveConfig/LoadConfig round trip).
+func FuzzConfigParse(f *testing.F) {
+	// Seed corpus: the default config as SaveConfig writes it, plus
+	// boundary shapes.
+	def, err := json.Marshal(gpuwalk.DefaultConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(def))
+	f.Add(`{}`)
+	f.Add(`{"Workload":"MVT","Scheduler":"simt-aware"}`)
+	f.Add(`{"Workload":`)
+	f.Add(`{"NoSuchField":1}`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := gpuwalk.ParseConfig(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		blob, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("accepted config does not re-encode: %v", err)
+		}
+		again, err := gpuwalk.ParseConfig(strings.NewReader(string(blob)))
+		if err != nil {
+			t.Fatalf("re-encoded config does not re-parse: %v\n%s", err, blob)
+		}
+		blob2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != string(blob2) {
+			t.Fatalf("config drifted through parse/encode cycle:\n%s\n%s", blob, blob2)
+		}
+	})
+}

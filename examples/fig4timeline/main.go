@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"gpuwalk/internal/core"
 	"gpuwalk/internal/iommu"
 	"gpuwalk/internal/mmu"
+	"gpuwalk/internal/obs"
 	"gpuwalk/internal/pwc"
 	"gpuwalk/internal/sim"
 	"gpuwalk/internal/textplot"
@@ -41,7 +43,7 @@ var fig4Arrivals = []arrival{
 	{0x24 << 18, 2}, // B req 4
 }
 
-func run(sched core.Scheduler) ([]iommu.WalkRecord, map[core.InstrID]uint64) {
+func run(sched core.Scheduler, tracePath string) ([]iommu.WalkRecord, map[core.InstrID]uint64) {
 	eng := sim.NewEngine()
 	pm := mmu.NewPhysMem(1 << 30)
 	alloc := mmu.NewAllocator(pm, 7)
@@ -60,6 +62,13 @@ func run(sched core.Scheduler) ([]iommu.WalkRecord, map[core.InstrID]uint64) {
 		return true
 	}
 	io := iommu.New(eng, cfg, sched, as.PT, dram)
+
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+		tracer.Attach(eng.Now)
+		io.SetTracer(tracer)
+	}
 
 	finish := map[core.InstrID]uint64{}
 	for i, a := range fig4Arrivals {
@@ -81,6 +90,12 @@ func run(sched core.Scheduler) ([]iommu.WalkRecord, map[core.InstrID]uint64) {
 		})
 	}
 	eng.Run()
+	if tracer != nil {
+		if err := tracer.WriteChromeFile(tracePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", tracePath, tracer.Len())
+	}
 	return io.ScheduleLog(), finish
 }
 
@@ -98,14 +113,23 @@ func render(name string, log []iommu.WalkRecord, finish map[core.InstrID]uint64)
 }
 
 func main() {
-	fcfsLog, fcfsFinish := run(core.FCFS{})
+	tracePrefix := flag.String("trace", "", "write Chrome trace_event JSON files <prefix>-fcfs.json and <prefix>-simt.json")
+	flag.Parse()
+
+	fcfsTrace, simtTrace := "", ""
+	if *tracePrefix != "" {
+		fcfsTrace = *tracePrefix + "-fcfs.json"
+		simtTrace = *tracePrefix + "-simt.json"
+	}
+
+	fcfsLog, fcfsFinish := run(core.FCFS{}, fcfsTrace)
 	render("FCFS (Figure 4a)", fcfsLog, fcfsFinish)
 
 	simt, err := core.New(core.KindSIMTAware, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	simtLog, simtFinish := run(simt)
+	simtLog, simtFinish := run(simt, simtTrace)
 	render("SIMT-aware (Figure 4b)", simtLog, simtFinish)
 
 	if simtFinish[1] < fcfsFinish[1] && simtFinish[2] <= fcfsFinish[2]+100 {

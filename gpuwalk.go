@@ -33,6 +33,7 @@ import (
 	"gpuwalk/internal/dram"
 	"gpuwalk/internal/gpu"
 	"gpuwalk/internal/iommu"
+	"gpuwalk/internal/obs"
 	"gpuwalk/internal/workload"
 )
 
@@ -66,7 +67,21 @@ type (
 	SchedulerOptions = core.Options
 	// Workload describes one Table II benchmark generator.
 	Workload = workload.Generator
+	// Tracer records structured simulation events for Chrome
+	// trace_event export (see docs/OBSERVABILITY.md).
+	Tracer = obs.Tracer
+	// Metrics is a registry of counters/gauges/histograms sampled per
+	// epoch into a CSV time series.
+	Metrics = obs.Registry
 )
+
+// NewTracer returns an empty event tracer. Pass it via Config.Obs to
+// record a run; write the result with Tracer.WriteChromeFile.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetrics returns an empty metrics registry. Pass it via Config.Obs
+// to sample a run; write the result with Metrics.WriteCSVFile.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // Built-in scheduling policies. CUFair is this repo's follow-on
 // extension (cross-CU QoS on top of batching + SJF); the rest are the
@@ -116,6 +131,25 @@ type Config struct {
 
 	// Seed randomizes OS frame placement.
 	Seed uint64
+
+	// Obs holds runtime observability handles. Like CustomScheduler
+	// they are live objects, not data, so they are never serialized.
+	Obs ObsConfig `json:"-"`
+}
+
+// ObsConfig attaches observability to a run. Both fields are optional;
+// a nil Tracer and nil Metrics cost the simulation one pointer check
+// per hook site (see docs/MODEL.md).
+type ObsConfig struct {
+	// Tracer, when non-nil, records structured events from every model
+	// layer for Chrome trace_event export.
+	Tracer *Tracer
+	// Metrics, when non-nil, is sampled every MetricsEpoch cycles (and
+	// once at the end of the run) into a CSV time series.
+	Metrics *Metrics
+	// MetricsEpoch is the sampling period in cycles (0 uses
+	// gpu.DefaultMetricsEpoch, 10000).
+	MetricsEpoch uint64
 }
 
 // DefaultConfig returns the paper's Table I baseline with the FCFS
@@ -156,13 +190,16 @@ func Run(cfg Config) (Result, error) {
 // and cfg.Gen). Use it to replay saved traces or hand-built ones.
 func RunTrace(cfg Config, tr *Trace) (Result, error) {
 	sys, err := gpu.NewSystem(gpu.Params{
-		GPU:       cfg.GPU,
-		DRAM:      cfg.DRAM,
-		IOMMU:     cfg.IOMMU,
-		SchedKind: cfg.Scheduler,
-		SchedOpts: cfg.SchedOpts,
-		Scheduler: cfg.CustomScheduler,
-		Seed:      cfg.Seed,
+		GPU:          cfg.GPU,
+		DRAM:         cfg.DRAM,
+		IOMMU:        cfg.IOMMU,
+		SchedKind:    cfg.Scheduler,
+		SchedOpts:    cfg.SchedOpts,
+		Scheduler:    cfg.CustomScheduler,
+		Seed:         cfg.Seed,
+		Tracer:       cfg.Obs.Tracer,
+		Metrics:      cfg.Obs.Metrics,
+		MetricsEpoch: cfg.Obs.MetricsEpoch,
 	}, tr)
 	if err != nil {
 		return Result{}, err

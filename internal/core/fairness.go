@@ -20,10 +20,11 @@ package core
 type CUFair struct {
 	AgingThreshold uint64
 
-	lastInstr InstrID
-	haveLast  bool
-	lastCU    int
-	served    bool // lastCU is only meaningful after the first pick
+	lastInstr    InstrID
+	haveLast     bool
+	lastCU       int
+	served       bool // lastCU is only meaningful after the first pick
+	lastDecision Decision
 
 	// Stats.
 	BatchHits  uint64
@@ -67,6 +68,7 @@ func (s *CUFair) Select(pending []*Request) int {
 		}
 		if best >= 0 {
 			s.AgingPicks++
+			s.lastDecision = DecisionAging
 			return s.commit(pending, best)
 		}
 	}
@@ -81,6 +83,7 @@ func (s *CUFair) Select(pending []*Request) int {
 		}
 		if best >= 0 {
 			s.BatchHits++
+			s.lastDecision = DecisionBatch
 			return s.commit(pending, best)
 		}
 	}
@@ -103,8 +106,12 @@ func (s *CUFair) Select(pending []*Request) int {
 		}
 	}
 	s.FairPicks++
+	s.lastDecision = DecisionFair
 	return s.commit(pending, best)
 }
+
+// LastDecision implements DecisionReporter.
+func (s *CUFair) LastDecision() Decision { return s.lastDecision }
 
 // nextCU picks the round-robin successor of lastCU among CUs that have
 // pending requests.

@@ -248,6 +248,9 @@ func (s *IndexedFIFO) Pick() *Request {
 // PendingLen implements IndexedScheduler.
 func (s *IndexedFIFO) PendingLen() int { return s.list.n }
 
+// LastDecision implements DecisionReporter: FCFS has only one rule.
+func (s *IndexedFIFO) LastDecision() Decision { return DecisionFCFS }
+
 // OnArrival implements Scheduler as a compatibility shim; the IOMMU
 // detects IndexedScheduler and calls Admit/Pick directly.
 func (s *IndexedFIFO) OnArrival(r *Request, _ []*Request) { s.Admit(r) }
@@ -286,6 +289,9 @@ func (s *IndexedRandom) Pick() *Request {
 // PendingLen implements IndexedScheduler.
 func (s *IndexedRandom) PendingLen() int { return len(s.pending) }
 
+// LastDecision implements DecisionReporter.
+func (s *IndexedRandom) LastDecision() Decision { return DecisionRandom }
+
 // OnArrival implements Scheduler as a compatibility shim.
 func (s *IndexedRandom) OnArrival(r *Request, _ []*Request) { s.Admit(r) }
 
@@ -309,8 +315,9 @@ type IndexedSIMT struct {
 	heap       groupHeap
 	dispatches uint64 // total Picks, the lazy-aging clock
 
-	lastInstr InstrID
-	haveLast  bool
+	lastInstr    InstrID
+	haveLast     bool
+	lastDecision Decision
 
 	// Stats, matching the reference SIMTAware field for field.
 	BatchHits  uint64
@@ -359,6 +366,7 @@ func (s *IndexedSIMT) Pick() *Request {
 	if s.AgingThreshold > 0 {
 		if h := s.list.head; h != nil && s.dispatches-h.agingBase >= s.AgingThreshold {
 			s.AgingPicks++
+			s.lastDecision = DecisionAging
 			return s.commit(h)
 		}
 	}
@@ -367,6 +375,7 @@ func (s *IndexedSIMT) Pick() *Request {
 	if s.Batching && s.haveLast {
 		if g := s.groups[s.lastInstr]; g != nil {
 			s.BatchHits++
+			s.lastDecision = DecisionBatch
 			return s.commit(g.head)
 		}
 	}
@@ -374,10 +383,15 @@ func (s *IndexedSIMT) Pick() *Request {
 	// 3. Shortest-job-first by score, oldest on ties; or pure FCFS.
 	if s.SJF {
 		s.SJFPicks++
+		s.lastDecision = DecisionSJF
 		return s.commit(s.heap[0].head)
 	}
+	s.lastDecision = DecisionFCFS
 	return s.commit(s.list.head)
 }
+
+// LastDecision implements DecisionReporter.
+func (s *IndexedSIMT) LastDecision() Decision { return s.lastDecision }
 
 // commit finalizes a pick: unlinks r (always its group's oldest
 // member), deducts its estimate from the group score, and advances the

@@ -17,10 +17,11 @@ type IndexedCUFair struct {
 	active     []int // sorted CU ids with pending work
 	dispatches uint64
 
-	lastInstr InstrID
-	haveLast  bool
-	lastCU    int
-	served    bool
+	lastInstr    InstrID
+	haveLast     bool
+	lastCU       int
+	served       bool
+	lastDecision Decision
 
 	// Stats, matching the reference CUFair field for field.
 	BatchHits  uint64
@@ -79,6 +80,7 @@ func (s *IndexedCUFair) Pick() *Request {
 	if s.AgingThreshold > 0 {
 		if h := s.list.head; h != nil && s.dispatches-h.agingBase >= s.AgingThreshold {
 			s.AgingPicks++
+			s.lastDecision = DecisionAging
 			return s.commit(h)
 		}
 	}
@@ -87,6 +89,7 @@ func (s *IndexedCUFair) Pick() *Request {
 	if s.haveLast {
 		if g := s.groups[s.lastInstr]; g != nil {
 			s.BatchHits++
+			s.lastDecision = DecisionBatch
 			return s.commit(g.head)
 		}
 	}
@@ -103,8 +106,12 @@ func (s *IndexedCUFair) Pick() *Request {
 	}
 	lane := s.lanes[s.active[i]]
 	s.FairPicks++
+	s.lastDecision = DecisionFair
 	return s.commit(lane.heap[0].head)
 }
+
+// LastDecision implements DecisionReporter.
+func (s *IndexedCUFair) LastDecision() Decision { return s.lastDecision }
 
 func (s *IndexedCUFair) commit(r *Request) *Request {
 	s.lastInstr, s.haveLast = r.Instr, true

@@ -52,6 +52,49 @@ type Request struct {
 	agingBase    uint64   // dispatch-counter stamp for lazy aging
 }
 
+// Decision names the rule that produced a scheduling pick. Schedulers
+// that implement DecisionReporter expose it so the observability layer
+// can label each dispatch with the rule that won.
+type Decision uint8
+
+// Decision rules, in rough priority order across the built-in policies.
+const (
+	DecisionNone   Decision = iota
+	DecisionFCFS            // oldest pending request
+	DecisionRandom          // uniform random pick
+	DecisionSJF             // lowest-score instruction
+	DecisionBatch           // continue the last-scheduled instruction
+	DecisionAging           // starvation avoidance fired
+	DecisionFair            // cross-CU round-robin (cu-fair)
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case DecisionFCFS:
+		return "fcfs"
+	case DecisionRandom:
+		return "random"
+	case DecisionSJF:
+		return "sjf"
+	case DecisionBatch:
+		return "batch"
+	case DecisionAging:
+		return "aging"
+	case DecisionFair:
+		return "fair"
+	}
+	return "none"
+}
+
+// DecisionReporter is implemented by schedulers that can report which
+// rule produced their most recent pick. All built-in policies implement
+// it; custom schedulers may omit it, in which case dispatch events are
+// not labeled with a rule.
+type DecisionReporter interface {
+	LastDecision() Decision
+}
+
 // Scheduler selects the order in which pending walk requests are
 // serviced. Implementations are not safe for concurrent use; the
 // simulator is single-threaded per system.
@@ -150,6 +193,9 @@ func (FCFS) Name() string { return string(KindFCFS) }
 // OnArrival implements Scheduler; FCFS keeps no state.
 func (FCFS) OnArrival(*Request, []*Request) {}
 
+// LastDecision implements DecisionReporter: FCFS has only one rule.
+func (FCFS) LastDecision() Decision { return DecisionFCFS }
+
 // Select implements Scheduler: the oldest pending request. The IOMMU
 // keeps pending in arrival order, so that is index 0.
 func (FCFS) Select(pending []*Request) int {
@@ -177,6 +223,9 @@ func (*Random) Name() string { return string(KindRandom) }
 // OnArrival implements Scheduler; Random keeps no per-request state.
 func (*Random) OnArrival(*Request, []*Request) {}
 
+// LastDecision implements DecisionReporter.
+func (*Random) LastDecision() Decision { return DecisionRandom }
+
 // Select implements Scheduler.
 func (r *Random) Select(pending []*Request) int {
 	return r.rng.Intn(len(pending))
@@ -202,9 +251,10 @@ type SIMTAware struct {
 	Batching       bool
 	AgingThreshold uint64
 
-	name      string
-	lastInstr InstrID
-	haveLast  bool
+	name         string
+	lastInstr    InstrID
+	haveLast     bool
+	lastDecision Decision
 
 	// Stats.
 	BatchHits  uint64 // selections made by the batching rule
@@ -258,6 +308,7 @@ func (s *SIMTAware) Select(pending []*Request) int {
 		}
 		if best >= 0 {
 			s.AgingPicks++
+			s.lastDecision = DecisionAging
 			return s.commit(pending, best)
 		}
 	}
@@ -272,6 +323,7 @@ func (s *SIMTAware) Select(pending []*Request) int {
 		}
 		if best >= 0 {
 			s.BatchHits++
+			s.lastDecision = DecisionBatch
 			return s.commit(pending, best)
 		}
 	}
@@ -290,9 +342,15 @@ func (s *SIMTAware) Select(pending []*Request) int {
 	}
 	if s.SJF {
 		s.SJFPicks++
+		s.lastDecision = DecisionSJF
+	} else {
+		s.lastDecision = DecisionFCFS
 	}
 	return s.commit(pending, best)
 }
+
+// LastDecision implements DecisionReporter.
+func (s *SIMTAware) LastDecision() Decision { return s.lastDecision }
 
 // commit finalizes a selection: remembers the instruction for batching,
 // ages every request older than the one chosen, and removes the chosen

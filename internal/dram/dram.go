@@ -17,6 +17,7 @@ package dram
 import (
 	"fmt"
 
+	"gpuwalk/internal/obs"
 	"gpuwalk/internal/sim"
 	"gpuwalk/internal/stats"
 )
@@ -116,6 +117,7 @@ type bank struct {
 // channel is one memory channel with its own FR-FCFS controller.
 type channel struct {
 	mem       *Memory
+	idx       int
 	queue     []request
 	banks     []bank
 	busFreeAt sim.Cycle
@@ -129,6 +131,10 @@ type Memory struct {
 	eng      *sim.Engine
 	channels []channel
 	stats    Stats
+
+	tr     *obs.Tracer // nil unless tracing; see SetTracer
+	trkCh  []obs.Track
+	qNames []string // per-channel counter-series names
 }
 
 // New builds a Memory on the given engine. It panics on invalid config;
@@ -142,9 +148,33 @@ func New(eng *sim.Engine, cfg Config) *Memory {
 	banksPerChan := cfg.RanksPerChan * cfg.BanksPerRank
 	for i := range m.channels {
 		m.channels[i].mem = m
+		m.channels[i].idx = i
 		m.channels[i].banks = make([]bank, banksPerChan)
 	}
 	return m
+}
+
+// SetTracer attaches an event tracer: one thread per channel under a
+// "dram" process, carrying the access spans and a queue-depth counter
+// (named per channel, since Chrome aggregates counters by name within
+// a process). When tracing is off every hook costs one nil check.
+func (m *Memory) SetTracer(tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	m.tr = tr
+	m.trkCh = make([]obs.Track, m.cfg.Channels)
+	m.qNames = make([]string, m.cfg.Channels)
+	for i := range m.trkCh {
+		m.trkCh[i] = tr.NewTrack("dram", fmt.Sprintf("chan%d", i))
+		m.qNames[i] = fmt.Sprintf("queue%d", i)
+	}
+}
+
+// traceQueue emits channel c's queue depth. Callers hold m.tr non-nil.
+func (m *Memory) traceQueue(c *channel) {
+	m.tr.Counter(m.trkCh[c.idx], m.qNames[c.idx],
+		obs.U64("pending", uint64(len(c.queue))))
 }
 
 // Stats returns a snapshot of accumulated statistics.
@@ -200,6 +230,9 @@ func (m *Memory) access(addr uint64, write, prio bool, done func()) bool {
 	})
 	if len(c.queue) > m.stats.MaxQueue {
 		m.stats.MaxQueue = len(c.queue)
+	}
+	if m.tr != nil {
+		m.traceQueue(c)
 	}
 	c.scheduleTick(m.eng.Now())
 	return true
@@ -311,16 +344,20 @@ func (c *channel) issue(idx int, now sim.Cycle) {
 	st := &c.mem.stats
 
 	var lat uint64
+	var rowState string
 	switch {
 	case b.hasOpen && b.openRow == r.row:
 		st.RowHits++
 		lat = cfg.TCAS + cfg.TBurst
+		rowState = "hit"
 	case !b.hasOpen:
 		st.RowMisses++
 		lat = cfg.TRCD + cfg.TCAS + cfg.TBurst
+		rowState = "miss"
 	default:
 		st.RowConflicts++
 		lat = cfg.TRP + cfg.TRCD + cfg.TCAS + cfg.TBurst
+		rowState = "conflict"
 	}
 	lat += cfg.TCtrl
 	if r.write {
@@ -341,6 +378,20 @@ func (c *channel) issue(idx int, now sim.Cycle) {
 	c.busFreeAt = now + sim.Cycle(cfg.TBurst)
 
 	st.ServiceLat.Add(float64(doneAt - r.arrive))
+	if tr := c.mem.tr; tr != nil {
+		kind := "read"
+		if r.write {
+			kind = "write"
+		}
+		prio := uint64(0)
+		if r.prio {
+			prio = 1
+		}
+		tr.Span(c.mem.trkCh[c.idx], "dram", "access", now, doneAt,
+			obs.U64("bank", uint64(r.bank)), obs.Str("row", rowState),
+			obs.Str("kind", kind), obs.U64("prio", prio))
+		c.mem.traceQueue(c)
+	}
 	done := r.done
 	c.mem.eng.At(doneAt, func() {
 		if done != nil {

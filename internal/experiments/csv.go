@@ -3,13 +3,16 @@ package experiments
 import (
 	"encoding/csv"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 )
 
-// WriteCSV writes header + rows to dir/name.csv, creating dir if needed.
-func WriteCSV(dir, name string, header []string, rows [][]string) error {
+// WriteCSV writes header + rows to dir/name.csv, creating dir if
+// needed. The file is closed exactly once on every path via defer, and
+// a close failure surfaces through the named return.
+func WriteCSV(dir, name string, header []string, rows [][]string) (err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -18,21 +21,25 @@ func WriteCSV(dir, name string, header []string, rows [][]string) error {
 	if err != nil {
 		return err
 	}
-	w := csv.NewWriter(f)
-	if err := w.Write(header); err != nil {
-		f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return writeCSVTo(f, header, rows)
+}
+
+// writeCSVTo writes one CSV document to w.
+func writeCSVTo(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
 		return err
 	}
-	if err := w.WriteAll(rows); err != nil {
-		f.Close()
+	if err := cw.WriteAll(rows); err != nil {
 		return err
 	}
-	w.Flush()
-	if err := w.Error(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	cw.Flush()
+	return cw.Error()
 }
 
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out", "nested")
+	header := []string{"workload", "speedup"}
+	rows := [][]string{{"MVT", "1.31"}, {"ATX", "1.25"}}
+	if err := WriteCSV(dir, "fig2", header, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "workload,speedup\nMVT,1.31\nATX,1.25\n"
+	if string(data) != want {
+		t.Fatalf("file = %q, want %q", data, want)
+	}
+}
+
+func TestWriteCSVMkdirFailure(t *testing.T) {
+	// A regular file where the directory should go makes MkdirAll fail.
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(blocker, "fig2", []string{"a"}, nil); err == nil {
+		t.Fatal("expected MkdirAll error")
+	}
+}
+
+// failWriter errors after n bytes, to exercise the early-return paths
+// that previously leaked the file handle.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("write refused")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVToPropagatesWriteError(t *testing.T) {
+	header := []string{"col"}
+	rows := [][]string{{strings.Repeat("x", 1<<16)}}
+	if err := writeCSVTo(&failWriter{n: 8}, header, rows); err == nil {
+		t.Fatal("expected write error")
+	}
+}

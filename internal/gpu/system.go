@@ -9,6 +9,7 @@ import (
 	"gpuwalk/internal/dram"
 	"gpuwalk/internal/iommu"
 	"gpuwalk/internal/mmu"
+	"gpuwalk/internal/obs"
 	"gpuwalk/internal/pwc"
 	"gpuwalk/internal/sim"
 	"gpuwalk/internal/stats"
@@ -45,6 +46,9 @@ type System struct {
 	// Per-app accounting for multi-tenant traces.
 	appRemaining []uint64
 	appFinish    []sim.Cycle
+
+	met      *obs.Registry // nil unless metrics sampling is on
+	metEpoch uint64
 }
 
 // Params collects everything needed to build a System.
@@ -63,7 +67,22 @@ type Params struct {
 	PhysBytes uint64
 	// Seed drives frame-allocation randomization.
 	Seed uint64
+
+	// Tracer, when non-nil, records structured events from every model
+	// layer (scheduler decisions, walker occupancy, TLB misses, PWC
+	// protection, DRAM accesses) for Chrome trace_event export. The
+	// system attaches the engine clock and registers all tracks.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, is sampled into a CSV time series every
+	// MetricsEpoch cycles plus once at the end of the run.
+	Metrics *obs.Registry
+	// MetricsEpoch is the sampling period in cycles (0 uses
+	// DefaultMetricsEpoch).
+	MetricsEpoch uint64
 }
+
+// DefaultMetricsEpoch is the default metrics sampling period in cycles.
+const DefaultMetricsEpoch = 10000
 
 // DefaultParams returns the full Table I baseline.
 func DefaultParams() Params {
@@ -153,6 +172,24 @@ func NewSystem(p Params, tr *workload.Trace) (*System, error) {
 	for i := range s.cus {
 		s.cus[i] = newCU(s, i)
 	}
+	if p.Tracer != nil {
+		p.Tracer.Attach(eng.Now)
+		s.io.SetTracer(p.Tracer)
+		s.mem.SetTracer(p.Tracer)
+		s.l2tlb.SetTracer(p.Tracer, p.Tracer.NewTrack("gpu", "l2tlb"))
+		for i, c := range s.cus {
+			c.l1tlb.SetTracer(p.Tracer, p.Tracer.NewTrack("gpu", fmt.Sprintf("cu%d-l1tlb", i)))
+		}
+	}
+	if p.Metrics != nil {
+		s.met = p.Metrics
+		s.metEpoch = p.MetricsEpoch
+		if s.metEpoch == 0 {
+			s.metEpoch = DefaultMetricsEpoch
+		}
+		s.registerMetrics(p.Metrics)
+	}
+
 	s.appRemaining = make([]uint64, tr.AppCount())
 	s.appFinish = make([]sim.Cycle, tr.AppCount())
 	for wi := range tr.Wavefronts {
@@ -166,6 +203,42 @@ func NewSystem(p Params, tr *workload.Trace) (*System, error) {
 		s.appRemaining[wt.App] += uint64(len(wt.Instrs))
 	}
 	return s, nil
+}
+
+// registerMetrics wires the standard simulator time series into m.
+// Every column is a closure over live model state, evaluated at each
+// sample epoch.
+func (s *System) registerMetrics(m *obs.Registry) {
+	m.Func("instrs.done", func() float64 { return float64(s.instrsDone) })
+	m.Func("translations", func() float64 { return float64(s.translations) })
+	m.Func("gpu.l2tlb.misses", func() float64 {
+		st := s.l2tlb.Stats()
+		return float64(st.Lookups.Total - st.Lookups.Hits)
+	})
+	m.Func("iommu.requests", func() float64 { return float64(s.io.Stats().Requests) })
+	m.Func("iommu.walks.started", func() float64 { return float64(s.io.Stats().WalksStarted) })
+	m.Func("iommu.walks.done", func() float64 { return float64(s.io.Stats().WalksDone) })
+	m.Func("iommu.pending", func() float64 { return float64(s.io.Pending()) })
+	m.Func("iommu.idle_walkers", func() float64 { return float64(s.io.IdleWalkers()) })
+	m.Func("iommu.walk_latency.mean", func() float64 {
+		lat := s.io.Stats().WalkLatency
+		return lat.Value()
+	})
+	m.Func("dram.reads", func() float64 { return float64(s.mem.Stats().Reads) })
+	m.Func("dram.row_hits", func() float64 { return float64(s.mem.Stats().RowHits) })
+	m.Func("dram.queue", func() float64 { return float64(s.mem.Pending()) })
+}
+
+// scheduleSample arms the next periodic metrics sample. The sampler is
+// read-only — it never perturbs the simulation — and stops rearming
+// once it is the only event left, so it cannot keep the engine alive.
+func (s *System) scheduleSample() {
+	s.eng.After(s.metEpoch, func() {
+		s.met.Sample(uint64(s.eng.Now()))
+		if s.eng.Pending() > 0 {
+			s.scheduleSample()
+		}
+	})
 }
 
 // noteInstrDone records one completed instruction for app accounting.
@@ -187,6 +260,10 @@ func (s *System) IOMMU() *iommu.IOMMU { return s.io }
 func (s *System) Run() (Result, error) {
 	for _, c := range s.cus {
 		c.start()
+	}
+	if s.met != nil {
+		s.met.Sample(0)
+		s.scheduleSample()
 	}
 	s.eng.Run()
 	if s.instrsDone != s.instrsTotal {
@@ -262,6 +339,11 @@ func (s *System) collect() Result {
 	now := s.eng.Now()
 	s.io.FinishStats()
 	s.epoch.Finish()
+	if s.met != nil {
+		// Final sample; overwrites a periodic row landing on the same
+		// cycle rather than duplicating it.
+		s.met.Sample(uint64(now))
+	}
 
 	r := Result{
 		Workload:            s.trace.Name,

@@ -14,6 +14,7 @@ import (
 
 	"gpuwalk/internal/core"
 	"gpuwalk/internal/mmu"
+	"gpuwalk/internal/obs"
 	"gpuwalk/internal/pwc"
 	"gpuwalk/internal/sim"
 	"gpuwalk/internal/stats"
@@ -207,9 +208,17 @@ type IOMMU struct {
 
 	busyInt sim.Integrator // busy walkers over time
 
-	freeWalkers []int // walker identities, for the schedule log
-	walkStart   map[*core.Request]walkSlot
-	schedule    []WalkRecord
+	// freeWalkers/walkStart track walker identities whenever the
+	// schedule log or the tracer needs them (trackWalkers).
+	freeWalkers  []int
+	walkStart    map[*core.Request]walkSlot
+	schedule     []WalkRecord
+	trackWalkers bool
+
+	tr        *obs.Tracer // nil unless tracing; see SetTracer
+	trkSched  obs.Track
+	trkWalker []obs.Track
+	nextRule  core.Decision // rule behind the next demand dispatch
 }
 
 // walkSlot remembers which walker took a request and when.
@@ -255,10 +264,41 @@ func New(eng *sim.Engine, cfg Config, sched core.Scheduler, pt *mmu.PageTable, d
 	if ix, ok := sched.(core.IndexedScheduler); ok {
 		io.ix = ix
 	}
+	io.trackWalkers = cfg.RecordSchedule
 	for i := cfg.Walkers - 1; i >= 0; i-- {
 		io.freeWalkers = append(io.freeWalkers, i)
 	}
 	return io
+}
+
+// SetTracer attaches an event tracer. The IOMMU registers a scheduler
+// thread plus one thread per hardware walker under an "iommu" process
+// and hands tracks to its embedded TLBs and PWC. Walk spans need
+// walker identities, so tracing enables the walker bookkeeping the
+// schedule log uses; call SetTracer before the run starts. When
+// tracing is off every hook site costs one nil pointer check.
+func (io *IOMMU) SetTracer(tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	io.tr = tr
+	io.trkSched = tr.NewTrack("iommu", "sched")
+	io.trkWalker = make([]obs.Track, io.cfg.Walkers)
+	for i := range io.trkWalker {
+		io.trkWalker[i] = tr.NewTrack("iommu", fmt.Sprintf("walker%d", i))
+	}
+	io.l1.SetTracer(tr, tr.NewTrack("iommu", "l1tlb"))
+	io.l2.SetTracer(tr, tr.NewTrack("iommu", "l2tlb"))
+	io.pwc.SetTracer(tr, tr.NewTrack("iommu", "pwc"))
+	io.trackWalkers = true
+}
+
+// traceQueueDepth emits the pending-buffer and overflow-queue depths
+// as one counter track. Callers hold io.tr non-nil.
+func (io *IOMMU) traceQueueDepth() {
+	io.tr.Counter(io.trkSched, "queue",
+		obs.U64("buffer", uint64(io.buffered())),
+		obs.U64("overflow", uint64(len(io.preQueue))))
 }
 
 // Stats returns a snapshot of the accumulated statistics.
@@ -282,6 +322,9 @@ func (io *IOMMU) FinishStats() { io.busyInt.Finish(io.eng.Now()) }
 
 // Pending returns buffered plus overflow requests (for tests).
 func (io *IOMMU) Pending() int { return io.buffered() + len(io.preQueue) }
+
+// IdleWalkers returns the number of currently idle walkers.
+func (io *IOMMU) IdleWalkers() int { return io.idleWalkers }
 
 // buffered returns the scheduler-visible pending count.
 func (io *IOMMU) buffered() int {
@@ -344,11 +387,17 @@ func (io *IOMMU) enqueueWalk(req TranslateReq) {
 			io.stats.Merged++
 			r := io.newRequest(req)
 			io.inflight[req.VPN] = append(io.inflight[req.VPN], r)
+			if tr := io.tr; tr != nil {
+				tr.Instant(io.trkSched, "sched", "merge",
+					obs.U64("seq", r.Seq), obs.U64("vpn", r.VPN),
+					obs.U64("instr", uint64(r.Instr)))
+			}
 			return
 		}
 	}
 	r := io.newRequest(req)
 	if io.idleWalkers > 0 {
+		io.nextRule = core.DecisionNone // direct start, no scheduler pick
 		io.startWalk(r)
 		return
 	}
@@ -367,6 +416,9 @@ func (io *IOMMU) enqueueWalk(req TranslateReq) {
 	}
 	if len(io.preQueue) > io.stats.PreQueuePeak {
 		io.stats.PreQueuePeak = len(io.preQueue)
+	}
+	if io.tr != nil {
+		io.traceQueueDepth()
 	}
 }
 
@@ -408,6 +460,13 @@ func (io *IOMMU) admit(r *core.Request) {
 	}
 	if n := io.buffered(); n > io.stats.BufferPeak {
 		io.stats.BufferPeak = n
+	}
+	if tr := io.tr; tr != nil {
+		tr.Instant(io.trkSched, "sched", "admit",
+			obs.U64("seq", r.Seq), obs.U64("vpn", r.VPN),
+			obs.U64("instr", uint64(r.Instr)), obs.U64("est", uint64(r.Est)),
+			obs.U64("dsp", io.schedSeq))
+		io.traceQueueDepth()
 	}
 }
 
@@ -459,6 +518,12 @@ func (io *IOMMU) walkerFreed() {
 		return
 	}
 	r := io.nextWalk()
+	if io.tr != nil {
+		io.nextRule = core.DecisionNone
+		if dr, ok := io.sched.(core.DecisionReporter); ok {
+			io.nextRule = dr.LastDecision()
+		}
+	}
 	// Refill the slot the pick just freed so the scheduler window
 	// stays full while older overflow requests wait.
 	io.promoteOverflow()
@@ -470,7 +535,7 @@ func (io *IOMMU) walkerFreed() {
 func (io *IOMMU) startWalk(r *core.Request) {
 	io.idleWalkers--
 	io.busyInt.Add(io.eng.Now(), 1)
-	if io.cfg.RecordSchedule {
+	if io.trackWalkers {
 		wid := io.freeWalkers[len(io.freeWalkers)-1]
 		io.freeWalkers = io.freeWalkers[:len(io.freeWalkers)-1]
 		io.walkStart[r] = walkSlot{walker: wid, start: io.eng.Now()}
@@ -488,6 +553,25 @@ func (io *IOMMU) startWalk(r *core.Request) {
 		}
 		io.schedSeq++
 		io.noteScheduled(r)
+		if tr := io.tr; tr != nil {
+			rule := "direct"
+			if io.nextRule != core.DecisionNone {
+				rule = io.nextRule.String()
+			}
+			tr.Instant(io.trkSched, "sched", "dispatch",
+				obs.U64("seq", r.Seq), obs.U64("vpn", r.VPN),
+				obs.U64("instr", uint64(r.Instr)), obs.U64("dsp", io.schedSeq),
+				obs.Str("rule", rule))
+			switch io.nextRule {
+			case core.DecisionAging:
+				tr.Instant(io.trkSched, "sched", "aging-promotion",
+					obs.U64("seq", r.Seq), obs.U64("instr", uint64(r.Instr)))
+			case core.DecisionBatch:
+				tr.Instant(io.trkSched, "sched", "batch-hit",
+					obs.U64("seq", r.Seq), obs.U64("instr", uint64(r.Instr)))
+			}
+			io.traceQueueDepth()
+		}
 	}
 
 	io.eng.After(io.cfg.PWCLat, func() {
@@ -532,22 +616,29 @@ func (io *IOMMU) issueWalkAccess(r *core.Request, addrs []uint64, total int) {
 // finishWalk completes a walk: fills PWC and IOMMU TLBs, replies to the
 // GPU, frees the walker (step 9).
 func (io *IOMMU) finishWalk(r *core.Request, accesses int) {
-	if io.cfg.RecordSchedule {
+	if io.trackWalkers {
 		slot := io.walkStart[r]
 		delete(io.walkStart, r)
 		io.freeWalkers = append(io.freeWalkers, slot.walker)
-		limit := io.cfg.RecordLimit
-		if limit == 0 {
-			limit = 4096
+		if tr := io.tr; tr != nil {
+			tr.Span(io.trkWalker[slot.walker], "walk", "walk", slot.start, io.eng.Now(),
+				obs.U64("vpn", r.VPN), obs.U64("instr", uint64(r.Instr)),
+				obs.U64("accesses", uint64(accesses)))
 		}
-		if len(io.schedule) < limit {
-			io.schedule = append(io.schedule, WalkRecord{
-				Walker: slot.walker,
-				Start:  slot.start,
-				End:    io.eng.Now(),
-				Instr:  r.Instr,
-				VPN:    r.VPN,
-			})
+		if io.cfg.RecordSchedule {
+			limit := io.cfg.RecordLimit
+			if limit == 0 {
+				limit = 4096
+			}
+			if len(io.schedule) < limit {
+				io.schedule = append(io.schedule, WalkRecord{
+					Walker: slot.walker,
+					Start:  slot.start,
+					End:    io.eng.Now(),
+					Instr:  r.Instr,
+					VPN:    r.VPN,
+				})
+			}
 		}
 	}
 	vpn4k := io.vpn4k(r.VPN)
@@ -578,6 +669,12 @@ func (io *IOMMU) finishWalk(r *core.Request, accesses int) {
 	io.stats.WalkLatency.Add(float64(lat))
 	io.stats.WalkLatencyQ.Observe(lat)
 	io.noteCompleted(r, accesses, lat)
+	if tr := io.tr; tr != nil {
+		tr.Instant(io.trkSched, "sched", "complete",
+			obs.U64("seq", r.Seq), obs.U64("vpn", r.VPN),
+			obs.U64("instr", uint64(r.Instr)), obs.U64("lat", lat),
+			obs.U64("accesses", uint64(accesses)))
+	}
 
 	if done := io.doneFns[r]; done != nil {
 		io.reply(done, pfn)

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpuwalk/internal/sim"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Attach(func() sim.Cycle { return 0 })
+	tr.SetLimit(10)
+	trk := tr.NewTrack("p", "t")
+	tr.Instant(trk, "c", "e")
+	tr.Span(trk, "c", "e", 1, 2)
+	tr.Counter(trk, "q", U64("v", 1))
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+	if err := tr.WriteChrome(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteChrome on nil tracer should error")
+	}
+}
+
+func TestTrackRegistration(t *testing.T) {
+	tr := NewTracer()
+	a := tr.NewTrack("iommu", "sched")
+	b := tr.NewTrack("iommu", "walker0")
+	c := tr.NewTrack("gpu", "cu0")
+	if a.pid != 1 || a.tid != 0 {
+		t.Fatalf("first track = %+v", a)
+	}
+	if b.pid != 1 || b.tid != 1 {
+		t.Fatalf("second thread of same process = %+v", b)
+	}
+	if c.pid != 2 || c.tid != 0 {
+		t.Fatalf("new process = %+v", c)
+	}
+	if got := tr.TrackName(b); got != "iommu/walker0" {
+		t.Fatalf("TrackName = %q", got)
+	}
+	if got := tr.TrackName(Track{}); got != "" {
+		t.Fatalf("TrackName of zero track = %q", got)
+	}
+}
+
+func TestEventRecordingAndClock(t *testing.T) {
+	tr := NewTracer()
+	now := sim.Cycle(0)
+	tr.Attach(func() sim.Cycle { return now })
+	trk := tr.NewTrack("p", "t")
+
+	tr.Instant(trk, "cat", "first")
+	now = 42
+	tr.Span(trk, "cat", "work", 10, 42, U64("vpn", 7))
+	tr.Counter(trk, "depth", U64("buffer", 3), U64("overflow", 0))
+
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("events = %d, want 3", len(ev))
+	}
+	if ev[0].TS != 0 || ev[0].Phase != PhaseInstant {
+		t.Fatalf("instant = %+v", ev[0])
+	}
+	if ev[1].TS != 10 || ev[1].Dur != 32 || ev[1].Phase != PhaseComplete {
+		t.Fatalf("span = %+v", ev[1])
+	}
+	if ev[2].Phase != PhaseCounter || len(ev[2].Args) != 2 {
+		t.Fatalf("counter = %+v", ev[2])
+	}
+}
+
+func TestSpanClampsNegativeDuration(t *testing.T) {
+	tr := NewTracer()
+	trk := tr.NewTrack("p", "t")
+	tr.Span(trk, "c", "x", 20, 10)
+	if ev := tr.Events(); ev[0].TS != 20 || ev[0].Dur != 0 {
+		t.Fatalf("clamped span = %+v", ev[0])
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(2)
+	trk := tr.NewTrack("p", "t")
+	for i := 0; i < 5; i++ {
+		tr.Instant(trk, "c", "e")
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d, want 2/3", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestWriteChromeDeterministicAndValid(t *testing.T) {
+	build := func() *Tracer {
+		tr := NewTracer()
+		now := sim.Cycle(5)
+		tr.Attach(func() sim.Cycle { return now })
+		sched := tr.NewTrack("iommu", "sched")
+		w0 := tr.NewTrack("iommu", "walker0")
+		cu := tr.NewTrack("gpu", "cu0")
+		tr.Instant(sched, "sched", "admit", U64("vpn", 0x10), Str("rule", "sjf"))
+		tr.Span(w0, "walk", "walk", 5, 105, U64("accesses", 4))
+		tr.Counter(sched, "queue", U64("buffer", 1), U64("overflow", 0))
+		tr.Instant(cu, "tlb", "miss", U64("vpn", 0x10))
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical tracers produced different bytes")
+	}
+	if err := CheckChrome(a.Bytes()); err != nil {
+		t.Fatalf("CheckChrome: %v\n%s", err, a.String())
+	}
+	for _, want := range []string{
+		`"process_name"`, `"thread_name"`, `"iommu"`, `"walker0"`,
+		`"ph":"X"`, `"ph":"i"`, `"ph":"C"`, `"dur":100`, `"rule":"sjf"`,
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("output missing %s", want)
+		}
+	}
+}
+
+func TestCheckChromeRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"no traceEvents":  `{"foo":1}`,
+		"missing name":    `{"traceEvents":[{"ph":"i","ts":1,"pid":1,"tid":0,"s":"t"}]}`,
+		"missing pid":     `{"traceEvents":[{"name":"x","ph":"i","ts":1,"tid":0,"s":"t"}]}`,
+		"bad phase":       `{"traceEvents":[{"name":"x","ph":"Z","ts":1,"pid":1,"tid":0}]}`,
+		"X without dur":   `{"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":1,"tid":0}]}`,
+		"i without scope": `{"traceEvents":[{"name":"x","ph":"i","ts":1,"pid":1,"tid":0}]}`,
+		"empty counter":   `{"traceEvents":[{"name":"x","ph":"C","ts":1,"pid":1,"tid":0}]}`,
+		"counter string series": `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"p"}},
+			{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"t"}},
+			{"name":"x","ph":"C","ts":1,"pid":1,"tid":0,"args":{"v":"oops"}}]}`,
+		"unnamed pid": `{"traceEvents":[{"name":"x","ph":"i","s":"t","ts":1,"pid":1,"tid":0,"args":{}}]}`,
+		"unnamed tid": `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"p"}},
+			{"name":"x","ph":"i","s":"t","ts":1,"pid":1,"tid":3}]}`,
+		"meta without name": `{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"tid":0}]}`,
+		"unknown meta":      `{"traceEvents":[{"name":"weird","ph":"M","pid":1,"tid":0,"args":{"name":"x"}}]}`,
+	}
+	for name, doc := range cases {
+		if err := CheckChrome([]byte(doc)); err == nil {
+			t.Errorf("%s: CheckChrome accepted malformed input", name)
+		}
+	}
+	if err := CheckChrome([]byte(`{"traceEvents":[]}`)); err != nil {
+		t.Errorf("empty trace should be valid: %v", err)
+	}
+}
+
+func TestWriteChromeFile(t *testing.T) {
+	tr := NewTracer()
+	trk := tr.NewTrack("p", "t")
+	tr.Instant(trk, "c", "e")
+	path := t.TempDir() + "/trace.json"
+	if err := tr.WriteChromeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckChrome(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}

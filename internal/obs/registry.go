@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+)
+
+// Registry is a metrics registry sampled into a CSV time series: one
+// column per registered metric, one row per sample epoch. Columns are
+// fixed at first sample; sampling evaluates every column's closure, so
+// registered metrics may read live model state (the usual pattern is a
+// closure over a component's Stats() snapshot).
+//
+// Like the Tracer, the Registry is deterministic: columns appear in
+// registration order and values are formatted with a fixed format, so
+// two runs of the same seeded workload produce byte-identical CSV.
+type Registry struct {
+	names  []string
+	fns    []func() float64
+	byName map[string]bool
+	rows   []sampleRow
+	sealed bool
+}
+
+type sampleRow struct {
+	cycle uint64
+	vals  []float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+// Func registers a callback-sampled series. It panics on a duplicate
+// name or registration after the first sample (columns are fixed once
+// sampling starts, so every row has the same shape).
+func (r *Registry) Func(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	if r.sealed {
+		panic(fmt.Sprintf("obs: metric %q registered after sampling started", name))
+	}
+	if r.byName[name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.byName[name] = true
+	r.names = append(r.names, name)
+	r.fns = append(r.fns, fn)
+}
+
+// Counter registers and returns a monotonic counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.Func(name, func() float64 { return float64(c.v) })
+	return c
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.Func(name, func() float64 { return float64(g.v) })
+	return g
+}
+
+// Histogram registers a streaming histogram summary under three
+// columns — name.count, name.mean and name.max — and returns the
+// observation handle.
+func (r *Registry) Histogram(name string) *HistogramMetric {
+	h := &HistogramMetric{}
+	r.Func(name+".count", func() float64 { return float64(h.n) })
+	r.Func(name+".mean", func() float64 { return h.Mean() })
+	r.Func(name+".max", func() float64 { return h.max })
+	return h
+}
+
+// Sample evaluates every column at the given cycle and appends a row.
+// Sampling twice at the same cycle overwrites the earlier row (at most
+// one row per cycle), which lets an end-of-run sample coexist with a
+// periodic sampler that happened to fire on the final cycle.
+func (r *Registry) Sample(cycle uint64) {
+	if r == nil {
+		return
+	}
+	r.sealed = true
+	vals := make([]float64, len(r.fns))
+	for i, fn := range r.fns {
+		vals[i] = fn()
+	}
+	if n := len(r.rows); n > 0 && r.rows[n-1].cycle == cycle {
+		r.rows[n-1].vals = vals
+		return
+	}
+	r.rows = append(r.rows, sampleRow{cycle: cycle, vals: vals})
+}
+
+// Rows returns the number of sampled rows.
+func (r *Registry) Rows() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rows)
+}
+
+// Names returns the registered column names in registration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.names...)
+}
+
+// WriteCSV writes the sampled time series: a "cycle,<name>,..." header
+// followed by one row per sample.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: WriteCSV on a nil Registry")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString("cycle")
+	for _, n := range r.names {
+		bw.WriteByte(',')
+		bw.WriteString(csvField(n))
+	}
+	bw.WriteByte('\n')
+	for i := range r.rows {
+		row := &r.rows[i]
+		bw.WriteString(strconv.FormatUint(row.cycle, 10))
+		for _, v := range row.vals {
+			bw.WriteByte(',')
+			bw.WriteString(formatMetric(v))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteCSVFile writes the time series to the named file.
+func (r *Registry) WriteCSVFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return r.WriteCSV(f)
+}
+
+// csvField quotes a header field if it contains CSV metacharacters
+// (metric names normally never do).
+func csvField(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ',', '"', '\n', '\r':
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// formatMetric renders a sample value deterministically: integers
+// without a fraction, everything else in shortest round-trip form.
+func formatMetric(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing metric handle.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time metric handle.
+type Gauge struct{ v int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add moves the value by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v += delta
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// HistogramMetric is a streaming summary (count, mean, max) handle.
+type HistogramMetric struct {
+	n   uint64
+	sum float64
+	max float64
+}
+
+// Observe records one sample.
+func (h *HistogramMetric) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *HistogramMetric) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Mean returns the mean sample, or 0 with none.
+func (h *HistogramMetric) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}

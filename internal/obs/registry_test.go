@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistrySampleAndCSV(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("walks")
+	g := r.Gauge("pending")
+	h := r.Histogram("lat")
+	r.Func("rate", func() float64 { return 0.5 })
+
+	c.Add(3)
+	g.Set(2)
+	h.Observe(10)
+	h.Observe(20)
+	r.Sample(100)
+
+	c.Inc()
+	g.Add(-2)
+	h.Observe(60)
+	r.Sample(250)
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,walks,pending,lat.count,lat.mean,lat.max,rate\n" +
+		"100,3,2,2,15,20,0.5\n" +
+		"250,4,0,3,30,60,0.5\n"
+	if buf.String() != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	if r.Rows() != 2 {
+		t.Fatalf("rows = %d", r.Rows())
+	}
+	if got := r.Names(); len(got) != 6 || got[0] != "walks" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestRegistryDeterministicBytes(t *testing.T) {
+	build := func() []byte {
+		r := NewRegistry()
+		c := r.Counter("a")
+		r.Func("b", func() float64 { return 1.0 / 3.0 })
+		c.Add(7)
+		r.Sample(10)
+		r.Sample(20)
+		var buf bytes.Buffer
+		if err := r.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("identical registries produced different CSV bytes")
+	}
+}
+
+func TestRegistrySameCycleOverwrites(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(1)
+	r.Sample(50)
+	g.Set(9)
+	r.Sample(50)
+	if r.Rows() != 1 {
+		t.Fatalf("rows = %d, want 1", r.Rows())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "50,9\n") {
+		t.Fatalf("overwrite lost: %s", buf.String())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Counter("x")
+}
+
+func TestRegistryLateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registration after sampling did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Sample(1)
+	r.Counter("y")
+}
+
+func TestRegistryNilSafety(t *testing.T) {
+	var r *Registry
+	r.Func("x", nil)
+	r.Sample(1)
+	if r.Rows() != 0 || r.Names() != nil {
+		t.Fatal("nil registry recorded something")
+	}
+	if err := r.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteCSV on nil registry should error")
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(2)
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	var h *HistogramMetric
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("nil handles accumulated state")
+	}
+}
+
+func TestRegistryCSVQuoting(t *testing.T) {
+	r := NewRegistry()
+	r.Func(`odd,"name`, func() float64 { return 1 })
+	r.Sample(1)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"odd,\"name"`) {
+		t.Fatalf("header not quoted: %s", buf.String())
+	}
+}
+
+// errWriter fails after n bytes, to exercise error propagation.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("write refused")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestRegistryWriteErrorPropagates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a")
+	for i := 0; i < 20000; i++ {
+		r.Sample(uint64(i))
+	}
+	if err := r.WriteCSV(&errWriter{n: 64}); err == nil {
+		t.Fatal("expected write error")
+	}
+}

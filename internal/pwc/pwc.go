@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"gpuwalk/internal/mmu"
+	"gpuwalk/internal/obs"
 	"gpuwalk/internal/stats"
 )
 
@@ -84,6 +85,9 @@ type PWC struct {
 	cfg    Config
 	levels [UpperLevels]level
 	stats  Stats
+
+	tr  *obs.Tracer // nil unless tracing; see SetTracer
+	trk obs.Track
 }
 
 // New builds the PWC. Panics on invalid config; use Config.Validate for
@@ -106,6 +110,13 @@ func New(cfg Config) *PWC {
 
 // Stats returns a snapshot of the accumulated statistics.
 func (p *PWC) Stats() Stats { return p.stats }
+
+// SetTracer attaches an event tracer; counter-guard protect and
+// unprotect transitions are recorded as instants on trk. The hot path
+// pays a single nil check when tracing is off.
+func (p *PWC) SetTracer(tr *obs.Tracer, trk obs.Track) {
+	p.tr, p.trk = tr, trk
+}
 
 // tagFor returns the PWC tag for vpn at upper level l (0 = PML4 cache).
 // The tag is the VA prefix covering that level: the PML4 cache is keyed
@@ -146,6 +157,10 @@ func (p *PWC) ProbeN(vpn uint64, upper int) int {
 		deepest = l
 		if p.cfg.CounterGuard && e.ctr < ctrMax {
 			e.ctr++
+			if tr := p.tr; tr != nil {
+				tr.Instant(p.trk, "pwc", "protect",
+					obs.U64("level", uint64(l)), obs.U64("ctr", uint64(e.ctr)))
+			}
 		}
 	}
 	if deepest >= 0 {
@@ -177,6 +192,10 @@ func (p *PWC) LookupN(vpn uint64, upper int) int {
 		e.used = lv.clock
 		if p.cfg.CounterGuard && e.ctr > 0 {
 			e.ctr--
+			if tr := p.tr; tr != nil {
+				tr.Instant(p.trk, "pwc", "unprotect",
+					obs.U64("level", uint64(l)), obs.U64("ctr", uint64(e.ctr)))
+			}
 		}
 	}
 	if deepest >= 0 {

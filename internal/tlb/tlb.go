@@ -11,6 +11,7 @@ package tlb
 import (
 	"fmt"
 
+	"gpuwalk/internal/obs"
 	"gpuwalk/internal/stats"
 )
 
@@ -94,6 +95,9 @@ type TLB struct {
 	clock   uint64
 	rng     uint64 // random-replacement stream state
 	stats   Stats
+
+	tr  *obs.Tracer // nil unless tracing; see SetTracer
+	trk obs.Track
 }
 
 // New builds a TLB. Panics on invalid config; use Config.Validate for
@@ -117,6 +121,12 @@ func New(cfg Config) *TLB {
 // Stats returns a snapshot of the accumulated statistics.
 func (t *TLB) Stats() Stats { return t.stats }
 
+// SetTracer attaches an event tracer; misses are recorded as instants
+// on trk. The hot path pays a single nil check when tracing is off.
+func (t *TLB) SetTracer(tr *obs.Tracer, trk obs.Track) {
+	t.tr, t.trk = tr, trk
+}
+
 // Config returns the TLB configuration.
 func (t *TLB) Config() Config { return t.cfg }
 
@@ -137,6 +147,9 @@ func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
 		}
 	}
 	t.stats.Lookups.Miss()
+	if tr := t.tr; tr != nil {
+		tr.Instant(t.trk, "tlb", "miss", obs.U64("vpn", vpn))
+	}
 	return 0, false
 }
 

@@ -58,6 +58,12 @@ func Load(r io.Reader) (*workload.Trace, error) {
 	if err := dec.Decode(&tr); err != nil {
 		return nil, fmt.Errorf("traceio: decoding trace: %w", err)
 	}
+	// Drain to EOF so the gzip checksum is verified: without this a
+	// corrupted stream whose gob payload still decodes would be
+	// returned as a silently different trace.
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return nil, fmt.Errorf("traceio: verifying stream: %w", err)
+	}
 	return &tr, nil
 }
 

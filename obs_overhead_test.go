@@ -1,0 +1,97 @@
+package gpuwalk_test
+
+import (
+	"os"
+	"testing"
+
+	"gpuwalk/internal/core"
+	"gpuwalk/internal/obs"
+)
+
+// benchTracer is nil in every real run. It is initialized through an
+// environment lookup so the compiler cannot prove it nil and fold the
+// hook guards away — the benchmark must measure the same load+branch
+// the IOMMU pays per operation when tracing is disabled.
+var benchTracer = func() *obs.Tracer {
+	if os.Getenv("GPUWALK_BENCH_TRACER") != "" {
+		return obs.NewTracer()
+	}
+	return nil
+}()
+
+// admitPickLoop mirrors the IOMMU scheduling hot path — indexed
+// Admit then Pick once the lookahead window fills — optionally with the
+// nil-tracer guards that instrumented builds place at the admit and
+// dispatch sites.
+func admitPickLoop(b *testing.B, hooked bool) {
+	sched, err := core.New(core.KindSIMTAware, core.Options{AgingThreshold: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, ok := sched.(core.IndexedScheduler)
+	if !ok {
+		b.Fatalf("%s is not indexed", sched.Name())
+	}
+	var trk obs.Track
+	reqs := make([]core.Request, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &reqs[i%len(reqs)]
+		*r = core.Request{
+			VPN:   uint64(i * 7 % 509),
+			Instr: core.InstrID(i % 13),
+			CU:    i % 8,
+			Seq:   uint64(i),
+			Est:   1 + i%4,
+		}
+		ix.Admit(r)
+		if hooked {
+			if tr := benchTracer; tr != nil {
+				tr.Instant(trk, "iommu", "admit", obs.U64("seq", r.Seq))
+			}
+		}
+		if ix.PendingLen() >= 64 {
+			p := ix.Pick()
+			if hooked {
+				if tr := benchTracer; tr != nil {
+					tr.Instant(trk, "iommu", "dispatch", obs.U64("seq", p.Seq))
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSchedAdmitPick(b *testing.B)          { admitPickLoop(b, false) }
+func BenchmarkSchedAdmitPickNilTracer(b *testing.B) { admitPickLoop(b, true) }
+
+// TestObsDisabledOverhead guards the nil-tracer contract: with tracing
+// disabled the instrumented admit+pick path must stay within 2% of the
+// hook-free path. Min-of-rounds filters scheduler jitter.
+func TestObsDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive; skipped under -race")
+	}
+	const rounds = 5
+	minNs := func(hooked bool) float64 {
+		best := 0.0
+		for i := 0; i < rounds; i++ {
+			res := testing.Benchmark(func(b *testing.B) { admitPickLoop(b, hooked) })
+			ns := float64(res.NsPerOp())
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	base := minNs(false)
+	hooked := minNs(true)
+	ratio := hooked / base
+	t.Logf("base %.1f ns/op, nil-tracer %.1f ns/op, ratio %.4f", base, hooked, ratio)
+	if ratio > 1.02 {
+		t.Errorf("disabled-tracer overhead %.2f%% exceeds 2%% budget", (ratio-1)*100)
+	}
+}
