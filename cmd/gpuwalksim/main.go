@@ -37,6 +37,12 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the run (load in chrome://tracing or Perfetto)")
 		metsOut  = flag.String("metrics", "", "write a per-epoch metrics CSV time series")
 		epoch    = flag.Uint64("epoch", 0, "metrics sampling period in cycles (0 = default 10000)")
+
+		faultRate  = flag.Float64("fault-rate", 0, "inject page faults: probability a demand walk finds its PTE non-present (0 = off)")
+		faultLat   = flag.Uint64("fault-lat", 0, "OS page-fault service latency in cycles (0 = default)")
+		walkerKill = flag.Uint64("walker-kill", 0, "kill every Nth demand walk mid-walk, forcing re-dispatch (0 = off)")
+		pwcCorrupt = flag.Float64("pwc-corrupt", 0, "probability a PWC probe returns a corrupted walk-length estimate (0 = off)")
+		watchdog   = flag.Uint64("watchdog", 0, "fail with a queue dump if no progress for this many cycles (0 = off)")
 	)
 	flag.Parse()
 
@@ -76,6 +82,12 @@ func main() {
 	cfg.IOMMU.BufferEntries = *buffer
 	cfg.GPU.L2TLBEntries = *l2tlb
 	cfg.GPU.PageBits = *pagebits
+	cfg.FaultInject.Seed = *seed
+	cfg.FaultInject.NonPresentRate = *faultRate
+	cfg.FaultInject.WalkerKillPeriod = *walkerKill
+	cfg.FaultInject.PWCCorruptRate = *pwcCorrupt
+	cfg.IOMMU.Faults.ServiceLat = *faultLat
+	cfg.WatchdogInterval = *watchdog
 
 	if *dumpConf != "" {
 		if err := gpuwalk.SaveConfig(*dumpConf, cfg); err != nil {
@@ -98,6 +110,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpuwalksim: %v\n", err)
 		os.Exit(1)
+	}
+	if cfg.FaultInject.Enabled() {
+		fmt.Fprintf(os.Stderr, "fault injection: %d faults injected (%d serviced), %d walkers killed, %d probes corrupted, %d walk retries\n",
+			res.Injected.FaultsInjected, res.IOMMU.FaultsServiced,
+			res.Injected.WalkersKilled, res.Injected.ProbesCorrupted, res.IOMMU.WalkRetries)
 	}
 	if *traceOut != "" {
 		if err := cfg.Obs.Tracer.WriteChromeFile(*traceOut); err != nil {

@@ -5,27 +5,22 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"gpuwalk/internal/atomicio"
 )
 
-// SaveConfig writes cfg as indented JSON to the named file. Custom
-// schedulers (Config.CustomScheduler) are code, not data, and are not
-// serialized.
-func SaveConfig(path string, cfg Config) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
+// SaveConfig writes cfg as indented JSON to the named file, atomically
+// (temp file + rename). Custom schedulers (Config.CustomScheduler) are
+// code, not data, and are not serialized.
+func SaveConfig(path string, cfg Config) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cfg); err != nil {
+			return fmt.Errorf("gpuwalk: encoding config: %w", err)
 		}
-	}()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(cfg); err != nil {
-		return fmt.Errorf("gpuwalk: encoding config: %w", err)
-	}
-	return nil
+		return nil
+	})
 }
 
 // LoadConfig reads a JSON config written by SaveConfig (or by hand).

@@ -31,6 +31,7 @@ import (
 
 	"gpuwalk/internal/core"
 	"gpuwalk/internal/dram"
+	"gpuwalk/internal/faultinject"
 	"gpuwalk/internal/gpu"
 	"gpuwalk/internal/iommu"
 	"gpuwalk/internal/obs"
@@ -73,6 +74,15 @@ type (
 	// Metrics is a registry of counters/gauges/histograms sampled per
 	// epoch into a CSV time series.
 	Metrics = obs.Registry
+	// FaultInjectConfig configures deterministic fault injection
+	// (non-present PTEs, walker kills, PWC probe corruption); see
+	// docs/FAULTS.md.
+	FaultInjectConfig = faultinject.Config
+	// FaultConfig configures the IOMMU's OS page-fault service model
+	// (queue bound, service slots, latency).
+	FaultConfig = iommu.FaultConfig
+	// InjectedStats counts the faults an injection-enabled run injected.
+	InjectedStats = faultinject.Stats
 )
 
 // NewTracer returns an empty event tracer. Pass it via Config.Obs to
@@ -132,6 +142,17 @@ type Config struct {
 	// Seed randomizes OS frame placement.
 	Seed uint64
 
+	// FaultInject enables deterministic fault injection. The zero value
+	// injects nothing and leaves the fault model detached, so fault-free
+	// runs behave (and trace) exactly as without it.
+	FaultInject FaultInjectConfig
+
+	// WatchdogInterval arms a no-progress watchdog: if no instruction,
+	// walk, or fault service completes across this many cycles while
+	// work remains, the run fails with a diagnostic dump of every queue
+	// instead of spinning forever. 0 disables.
+	WatchdogInterval uint64
+
 	// Obs holds runtime observability handles. Like CustomScheduler
 	// they are live objects, not data, so they are never serialized.
 	Obs ObsConfig `json:"-"`
@@ -190,16 +211,18 @@ func Run(cfg Config) (Result, error) {
 // and cfg.Gen). Use it to replay saved traces or hand-built ones.
 func RunTrace(cfg Config, tr *Trace) (Result, error) {
 	sys, err := gpu.NewSystem(gpu.Params{
-		GPU:          cfg.GPU,
-		DRAM:         cfg.DRAM,
-		IOMMU:        cfg.IOMMU,
-		SchedKind:    cfg.Scheduler,
-		SchedOpts:    cfg.SchedOpts,
-		Scheduler:    cfg.CustomScheduler,
-		Seed:         cfg.Seed,
-		Tracer:       cfg.Obs.Tracer,
-		Metrics:      cfg.Obs.Metrics,
-		MetricsEpoch: cfg.Obs.MetricsEpoch,
+		GPU:              cfg.GPU,
+		DRAM:             cfg.DRAM,
+		IOMMU:            cfg.IOMMU,
+		SchedKind:        cfg.Scheduler,
+		SchedOpts:        cfg.SchedOpts,
+		Scheduler:        cfg.CustomScheduler,
+		Seed:             cfg.Seed,
+		FaultInject:      cfg.FaultInject,
+		WatchdogInterval: cfg.WatchdogInterval,
+		Tracer:           cfg.Obs.Tracer,
+		Metrics:          cfg.Obs.Metrics,
+		MetricsEpoch:     cfg.Obs.MetricsEpoch,
 	}, tr)
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,47 @@
+// Package atomicio writes files via a temporary file plus rename, so a
+// crash, a full disk, or a write error mid-stream never leaves a
+// truncated result file behind: the destination either keeps its old
+// contents or atomically receives the complete new ones.
+package atomicio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile streams write's output into a temporary file in path's
+// directory and renames it over path on success. On any error — from
+// write, the filesystem, or close — the temporary file is removed and
+// path is left untouched.
+func WriteFile(path string, write func(w io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// CreateTemp makes the file 0600; result files are not secrets, so
+	// widen to the usual create mode before publishing.
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

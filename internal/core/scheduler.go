@@ -42,6 +42,12 @@ type Request struct {
 	// sum over the instruction's *pending* requests.
 	Score int
 
+	// Retries counts re-admissions after a page fault or an injected
+	// walker kill. Each retry re-stamps Seq (admission order must stay
+	// monotone, see index.go) but keeps Arrive, so walk-latency stats
+	// include the fault round trip.
+	Retries int
+
 	// passed counts younger requests scheduled past this one (eager
 	// aging, reference schedulers only).
 	passed uint64

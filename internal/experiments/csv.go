@@ -7,26 +7,20 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"gpuwalk/internal/atomicio"
 )
 
 // WriteCSV writes header + rows to dir/name.csv, creating dir if
-// needed. The file is closed exactly once on every path via defer, and
-// a close failure surfaces through the named return.
-func WriteCSV(dir, name string, header []string, rows [][]string) (err error) {
+// needed. The write is atomic (temp file + rename), so a failure never
+// leaves a truncated CSV behind.
+func WriteCSV(dir, name string, header []string, rows [][]string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	path := filepath.Join(dir, name+".csv")
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	return writeCSVTo(f, header, rows)
+	return atomicio.WriteFile(filepath.Join(dir, name+".csv"), func(w io.Writer) error {
+		return writeCSVTo(w, header, rows)
+	})
 }
 
 // writeCSVTo writes one CSV document to w.

@@ -1,0 +1,148 @@
+// Package faultinject is a deterministic, seeded fault-injection plan
+// for the IOMMU pipeline. It decides, for each demand page-table walk,
+// whether the walk hits a non-present PTE (simulated page-out), whether
+// the hardware walker servicing it dies mid-walk (forcing re-dispatch),
+// and whether the PWC probe estimate used for scheduler scoring is
+// corrupted (a soft error in the estimation path).
+//
+// All decisions are drawn from seeded xrand streams, one per fault
+// class, so a fixed seed produces the same fault schedule on every run
+// of the same deterministic simulation — the chaos property tests rely
+// on this to assert byte-identical outcomes across repeated runs.
+//
+// An Injector is optional everywhere it is accepted: a nil *Injector
+// means "no faults" and every decision method on nil reports no fault,
+// so model code can call them unconditionally.
+package faultinject
+
+import (
+	"fmt"
+
+	"gpuwalk/internal/xrand"
+)
+
+// errRate formats the shared out-of-range error for probability knobs.
+func errRate(name string, v float64) error {
+	return fmt.Errorf("faultinject: %s must be in [0, 1], got %g", name, v)
+}
+
+// Config describes a fault-injection plan. The zero value injects
+// nothing (Enabled reports false).
+type Config struct {
+	// Seed drives the injection decision streams. Independent of the
+	// simulation seed so fault schedules can be varied against a fixed
+	// workload.
+	Seed uint64
+
+	// NonPresentRate is the probability in [0, 1] that a demand walk
+	// finds its leaf PTE non-present when it starts (the page was
+	// "paged out" under it), forcing a page fault and an OS
+	// service/retry round trip.
+	NonPresentRate float64
+
+	// WalkerKillPeriod kills the walker servicing every Nth demand
+	// dispatch mid-walk: the reads it performed are wasted and the
+	// request must be re-dispatched through the scheduler. 0 disables.
+	WalkerKillPeriod uint64
+
+	// PWCCorruptRate is the probability in [0, 1] that the PWC probe
+	// estimate attached to a request at admission (the SJF score input)
+	// is replaced with a uniformly random valid estimate.
+	PWCCorruptRate float64
+}
+
+// Enabled reports whether the plan injects any faults at all.
+func (c Config) Enabled() bool {
+	return c.NonPresentRate > 0 || c.WalkerKillPeriod > 0 || c.PWCCorruptRate > 0
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NonPresentRate < 0 || c.NonPresentRate > 1 {
+		return errRate("NonPresentRate", c.NonPresentRate)
+	}
+	if c.PWCCorruptRate < 0 || c.PWCCorruptRate > 1 {
+		return errRate("PWCCorruptRate", c.PWCCorruptRate)
+	}
+	return nil
+}
+
+// Stats counts the faults an Injector has injected.
+type Stats struct {
+	FaultsInjected  uint64 // walks flipped to non-present
+	WalkersKilled   uint64 // walker kills issued
+	ProbesCorrupted uint64 // PWC estimates corrupted
+}
+
+// Injector draws fault decisions for one run. Not safe for concurrent
+// use; the simulator is single-threaded per system.
+type Injector struct {
+	cfg        Config
+	faultRng   *xrand.Rand
+	corruptRng *xrand.Rand
+	dispatches uint64
+	stats      Stats
+}
+
+// New builds an Injector, or returns nil when cfg injects nothing, so
+// callers can pass the result straight to fault-model hooks.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	base := xrand.New(cfg.Seed ^ 0xfa017ec7_5eed)
+	return &Injector{
+		cfg:        cfg,
+		faultRng:   base.Fork(),
+		corruptRng: base.Fork(),
+	}
+}
+
+// FaultWalk reports whether the demand walk starting now should find
+// its leaf PTE non-present.
+func (in *Injector) FaultWalk() bool {
+	if in == nil || in.cfg.NonPresentRate <= 0 {
+		return false
+	}
+	if in.faultRng.Float64() >= in.cfg.NonPresentRate {
+		return false
+	}
+	in.stats.FaultsInjected++
+	return true
+}
+
+// KillWalker reports whether the walker taking the current demand
+// dispatch should die mid-walk. Called once per demand dispatch.
+func (in *Injector) KillWalker() bool {
+	if in == nil || in.cfg.WalkerKillPeriod == 0 {
+		return false
+	}
+	in.dispatches++
+	if in.dispatches%in.cfg.WalkerKillPeriod != 0 {
+		return false
+	}
+	in.stats.WalkersKilled++
+	return true
+}
+
+// CorruptEst possibly replaces a PWC probe estimate with a random valid
+// one in [1, max]. It returns the estimate to use and whether it was
+// corrupted.
+func (in *Injector) CorruptEst(est, max int) (int, bool) {
+	if in == nil || in.cfg.PWCCorruptRate <= 0 || max < 1 {
+		return est, false
+	}
+	if in.corruptRng.Float64() >= in.cfg.PWCCorruptRate {
+		return est, false
+	}
+	in.stats.ProbesCorrupted++
+	return 1 + in.corruptRng.Intn(max), true
+}
+
+// Stats returns a snapshot of the injected-fault counters. Safe on nil.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}

@@ -140,6 +140,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gpu: WavefrontWidth must be positive, got %d", c.WavefrontWidth)
 	case c.WavefrontsPerCU <= 0:
 		return fmt.Errorf("gpu: WavefrontsPerCU must be positive, got %d", c.WavefrontsPerCU)
+	case c.SIMDPerCU <= 0:
+		// SIMDPerCU sizes the LSU slot pool; zero would park every
+		// memory instruction forever (an instant, silent deadlock).
+		return fmt.Errorf("gpu: SIMDPerCU must be positive, got %d", c.SIMDPerCU)
 	case c.PageBits != 12 && c.PageBits != 21:
 		return fmt.Errorf("gpu: PageBits must be 12 (4 KB) or 21 (2 MB), got %d", c.PageBits)
 	case c.EpochLen == 0:

@@ -3,10 +3,12 @@ package gpu
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"gpuwalk/internal/cache"
 	"gpuwalk/internal/core"
 	"gpuwalk/internal/dram"
+	"gpuwalk/internal/faultinject"
 	"gpuwalk/internal/iommu"
 	"gpuwalk/internal/mmu"
 	"gpuwalk/internal/obs"
@@ -49,6 +51,10 @@ type System struct {
 
 	met      *obs.Registry // nil unless metrics sampling is on
 	metEpoch uint64
+
+	inj        *faultinject.Injector // nil unless fault injection is on
+	watchdogIv uint64                // no-progress watchdog interval (0 = off)
+	stallErr   error                 // set by the watchdog on a trip
 }
 
 // Params collects everything needed to build a System.
@@ -79,6 +85,20 @@ type Params struct {
 	// MetricsEpoch is the sampling period in cycles (0 uses
 	// DefaultMetricsEpoch).
 	MetricsEpoch uint64
+
+	// FaultInject enables deterministic fault injection (non-present
+	// PTEs, walker kills, PWC probe corruption). The zero value injects
+	// nothing and leaves the IOMMU's fault model detached, so fault-free
+	// runs are byte-identical to builds without the fault subsystem.
+	// When enabled, the system attaches an OS fault handler that pages
+	// faulted pages back in via the page table's present bits.
+	FaultInject faultinject.Config
+
+	// WatchdogInterval arms a no-progress watchdog: if no instruction,
+	// walk, or fault service completes across this many cycles while
+	// instructions remain, the run aborts with a diagnostic dump of
+	// every queue instead of spinning forever. 0 disables.
+	WatchdogInterval uint64
 }
 
 // DefaultMetricsEpoch is the default metrics sampling period in cycles.
@@ -103,6 +123,9 @@ func NewSystem(p Params, tr *workload.Trace) (*System, error) {
 		return nil, err
 	}
 	if err := p.IOMMU.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.FaultInject.Validate(); err != nil {
 		return nil, err
 	}
 	if err := tr.Validate(p.GPU.CUs); err != nil {
@@ -167,6 +190,16 @@ func NewSystem(p Params, tr *workload.Trace) (*System, error) {
 	ioCfg := p.IOMMU
 	ioCfg.PageBits = p.GPU.PageBits
 	s.io = iommu.New(eng, ioCfg, sched, s.as.PT, s.mem.AccessPrio)
+	s.watchdogIv = p.WatchdogInterval
+	if p.FaultInject.Enabled() {
+		// Attach the fault model before the tracer so the fault track
+		// registers; the handler is the "OS" paging a faulted page back
+		// in by restoring its present bit.
+		s.inj = faultinject.New(p.FaultInject)
+		s.io.SetFaultModel(func(vpn4k uint64) bool {
+			return s.as.PT.SetPresent(vpn4k, true)
+		}, s.inj)
+	}
 
 	s.cus = make([]*cu, p.GPU.CUs)
 	for i := range s.cus {
@@ -227,6 +260,15 @@ func (s *System) registerMetrics(m *obs.Registry) {
 	m.Func("dram.reads", func() float64 { return float64(s.mem.Stats().Reads) })
 	m.Func("dram.row_hits", func() float64 { return float64(s.mem.Stats().RowHits) })
 	m.Func("dram.queue", func() float64 { return float64(s.mem.Pending()) })
+	if s.inj != nil {
+		// Fault columns appear only under injection so fault-free
+		// metrics CSVs keep their historical column set byte-for-byte.
+		m.Func("iommu.faults", func() float64 { return float64(s.io.Stats().Faults) })
+		m.Func("iommu.faults.serviced", func() float64 { return float64(s.io.Stats().FaultsServiced) })
+		m.Func("iommu.fault_queue", func() float64 { return float64(s.io.FaultQueueLen()) })
+		m.Func("iommu.walk_retries", func() float64 { return float64(s.io.Stats().WalkRetries) })
+		m.Func("iommu.walker_kills", func() float64 { return float64(s.io.Stats().WalkerKills) })
+	}
 }
 
 // scheduleSample arms the next periodic metrics sample. The sampler is
@@ -256,6 +298,30 @@ func (s *System) Engine() *sim.Engine { return s.eng }
 // IOMMU exposes the IOMMU model (tests and tools).
 func (s *System) IOMMU() *iommu.IOMMU { return s.io }
 
+// progress counts completed work units for the watchdog: retired
+// instructions, finished walks, and serviced faults. A wedged pipeline
+// moves none of these even while backoff/poll events keep firing.
+func (s *System) progress() uint64 {
+	st := s.io.Stats()
+	return s.instrsDone + st.WalksDone + st.FaultsServiced
+}
+
+// dumpState renders a queue-by-queue snapshot for the watchdog's
+// no-progress diagnostic.
+func (s *System) dumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gpu: instrs=%d/%d translations=%d xlate-out=%d xlate-parked=%d\n",
+		s.instrsDone, s.instrsTotal, s.translations, s.xlateOut, len(s.xlateParked))
+	for i, c := range s.cus {
+		fmt.Fprintf(&b, "cu%d: ready=%d lsu-queue=%d lsu-free=%d live=%d pending-wf=%d\n",
+			i, len(c.readyQ), len(c.lsuQueue), c.lsuFree, c.live, len(c.pending))
+	}
+	s.io.DumpState(&b)
+	fmt.Fprintf(&b, "dram: queue=%d reads=%d\n", s.mem.Pending(), s.mem.Stats().Reads)
+	fmt.Fprintf(&b, "engine: pending-events=%d dispatched=%d\n", s.eng.Pending(), s.eng.Dispatched())
+	return b.String()
+}
+
 // Run executes the workload to completion and returns the results.
 func (s *System) Run() (Result, error) {
 	for _, c := range s.cus {
@@ -265,7 +331,26 @@ func (s *System) Run() (Result, error) {
 		s.met.Sample(0)
 		s.scheduleSample()
 	}
+	if s.watchdogIv > 0 {
+		sim.StartWatchdog(s.eng, sim.WatchdogConfig{
+			Interval: s.watchdogIv,
+			Progress: s.progress,
+			Pending:  func() bool { return s.instrsDone < s.instrsTotal },
+			OnStall: func(*sim.Watchdog) {
+				s.stallErr = &sim.StallError{
+					At:       s.eng.Now(),
+					Progress: s.progress(),
+					Interval: s.watchdogIv,
+					Dump:     s.dumpState(),
+				}
+				s.eng.Abort()
+			},
+		})
+	}
 	s.eng.Run()
+	if s.stallErr != nil {
+		return Result{}, s.stallErr
+	}
 	if s.instrsDone != s.instrsTotal {
 		return Result{}, fmt.Errorf("gpu: deadlock — %d of %d instructions completed at cycle %d",
 			s.instrsDone, s.instrsTotal, s.eng.Now())
@@ -302,6 +387,9 @@ type Result struct {
 	IOMMUL2TLB tlb.Stats
 	PWC        pwc.Stats
 	Instr      iommu.InstrSummary
+	// Injected reports the fault injector's counters (all zero when
+	// fault injection was off).
+	Injected faultinject.Stats
 
 	L1D  cache.Stats // aggregated over CUs
 	L2D  cache.Stats
@@ -354,6 +442,7 @@ func (s *System) collect() Result {
 		GPUL2TLB:            s.l2tlb.Stats(),
 		EpochMeanWavefronts: s.epoch.MeanDistinct(),
 		IOMMU:               s.io.Stats(),
+		Injected:            s.inj.Stats(),
 		PWC:                 s.io.PWCStats(),
 		Instr:               s.io.InstrSummary(),
 		L2D:                 s.l2c.Stats(),

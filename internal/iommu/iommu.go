@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"gpuwalk/internal/core"
+	"gpuwalk/internal/faultinject"
 	"gpuwalk/internal/mmu"
 	"gpuwalk/internal/obs"
 	"gpuwalk/internal/pwc"
@@ -68,6 +69,18 @@ type Config struct {
 	RecordSchedule bool
 	// RecordLimit bounds the schedule log (0 = 4096).
 	RecordLimit int
+
+	// OverflowEntries bounds the overflow queue behind the scheduler
+	// window. 0 (default) keeps it unbounded, the historical behaviour.
+	// When bounded, an arrival that finds the queue full is NACKed and
+	// retried with exponential backoff (PRI-style backpressure); the
+	// retry re-stamps its arrival sequence, preserving the indexed
+	// schedulers' FIFO-admission contract.
+	OverflowEntries int
+
+	// Faults configures the OS page-fault service model (see fault.go).
+	// Inert until a handler or injector is attached via SetFaultModel.
+	Faults FaultConfig
 }
 
 // DefaultConfig returns the Table I baseline IOMMU.
@@ -87,19 +100,41 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. It covers every constraint
+// construction enforces — including the embedded TLB and PWC
+// geometries — so a config that validates cannot panic in New.
 func (c Config) Validate() error {
 	switch {
 	case c.BufferEntries <= 0:
 		return fmt.Errorf("iommu: BufferEntries must be positive, got %d", c.BufferEntries)
 	case c.Walkers <= 0:
 		return fmt.Errorf("iommu: Walkers must be positive, got %d", c.Walkers)
-	case c.L1TLBEntries <= 0 || c.L2TLBEntries <= 0:
-		return fmt.Errorf("iommu: TLB entry counts must be positive")
+	case c.OverflowEntries < 0:
+		return fmt.Errorf("iommu: OverflowEntries must be >= 0, got %d", c.OverflowEntries)
 	case c.PageBits != 0 && c.PageBits != mmu.PageBits && c.PageBits != mmu.LargePageBits:
 		return fmt.Errorf("iommu: PageBits must be %d or %d, got %d", mmu.PageBits, mmu.LargePageBits, c.PageBits)
 	}
+	if err := c.l1Config().Validate(); err != nil {
+		return fmt.Errorf("iommu: %w", err)
+	}
+	if err := c.l2Config().Validate(); err != nil {
+		return fmt.Errorf("iommu: %w", err)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return c.PWC.Validate()
+}
+
+// l1Config / l2Config build the embedded TLB configurations. New and
+// Validate must agree on these so Validate catches every construction
+// panic.
+func (c Config) l1Config() tlb.Config {
+	return tlb.Config{Name: "iommu-l1", Entries: c.L1TLBEntries}
+}
+
+func (c Config) l2Config() tlb.Config {
+	return tlb.Config{Name: "iommu-l2", Entries: c.L2TLBEntries, Ways: c.L2TLBWays}
 }
 
 // DRAMFn issues one memory read for a page-table entry; done runs at
@@ -146,6 +181,19 @@ type Stats struct {
 	WalkLatency    stats.Mean     // request arrival -> walk completion, cycles
 	WalkLatencyQ   stats.Quantile // same, as P50/P95/P99 quantiles
 	BufferWait     stats.Mean     // request arrival -> walk start, cycles
+
+	// Fault-model counters; all stay zero unless a fault handler or
+	// injector is attached (SetFaultModel) or OverflowEntries bounds
+	// the overflow queue.
+	Faults             uint64 // demand walks that found a non-present PTE
+	FaultsServiced     uint64 // OS fault services completed
+	FaultNACKs         uint64 // fault-queue-full rejections (retried)
+	OverflowNACKs      uint64 // overflow-queue-full rejections (retried)
+	WalkRetries        uint64 // re-admissions after a fault or walker kill
+	WalkerKills        uint64 // injected walker deaths
+	PrefetchFaultDrops uint64 // faulting prefetch walks dropped
+	FaultQueuePeak     int
+	FaultWait          stats.Mean // fault detection -> service completion, cycles
 }
 
 // InstrSummary is the per-instruction aggregate view used by the
@@ -218,7 +266,17 @@ type IOMMU struct {
 	tr        *obs.Tracer // nil unless tracing; see SetTracer
 	trkSched  obs.Track
 	trkWalker []obs.Track
+	trkFault  obs.Track
 	nextRule  core.Decision // rule behind the next demand dispatch
+
+	// Fault model (fault.go): handler reinstates non-present pages (nil
+	// keeps unmapped walks fatal), inj optionally injects faults,
+	// faultQ holds faults awaiting an OS service slot.
+	faultHandler FaultHandlerFn
+	inj          *faultinject.Injector
+	faultQ       []*core.Request
+	inService    int
+	faultSince   map[*core.Request]sim.Cycle
 }
 
 // walkSlot remembers which walker took a request and when.
@@ -251,8 +309,8 @@ func New(eng *sim.Engine, cfg Config, sched core.Scheduler, pt *mmu.PageTable, d
 		pt:           pt,
 		dram:         dram,
 		pwc:          pwc.New(cfg.PWC),
-		l1:           tlb.New(tlb.Config{Name: "iommu-l1", Entries: cfg.L1TLBEntries}),
-		l2:           tlb.New(tlb.Config{Name: "iommu-l2", Entries: cfg.L2TLBEntries, Ways: cfg.L2TLBWays}),
+		l1:           tlb.New(cfg.l1Config()),
+		l2:           tlb.New(cfg.l2Config()),
 		idleWalkers:  cfg.Walkers,
 		inflight:     make(map[uint64][]*core.Request),
 		doneFns:      make(map[*core.Request]func(uint64)),
@@ -260,6 +318,7 @@ func New(eng *sim.Engine, cfg Config, sched core.Scheduler, pt *mmu.PageTable, d
 		prefetched:   make(map[uint64]struct{}),
 		instrs:       make(map[core.InstrID]*instrInfo),
 		walkStart:    make(map[*core.Request]walkSlot),
+		faultSince:   make(map[*core.Request]sim.Cycle),
 	}
 	if ix, ok := sched.(core.IndexedScheduler); ok {
 		io.ix = ix
@@ -290,6 +349,12 @@ func (io *IOMMU) SetTracer(tr *obs.Tracer) {
 	io.l1.SetTracer(tr, tr.NewTrack("iommu", "l1tlb"))
 	io.l2.SetTracer(tr, tr.NewTrack("iommu", "l2tlb"))
 	io.pwc.SetTracer(tr, tr.NewTrack("iommu", "pwc"))
+	if io.faultModeled() {
+		// Registered only when the fault model is active so fault-free
+		// traces keep their historical track metadata byte-for-byte
+		// (SetFaultModel must run before SetTracer).
+		io.trkFault = tr.NewTrack("iommu", "faults")
+	}
 	io.trackWalkers = true
 }
 
@@ -395,7 +460,14 @@ func (io *IOMMU) enqueueWalk(req TranslateReq) {
 			return
 		}
 	}
-	r := io.newRequest(req)
+	io.enqueueRequest(io.newRequest(req), 0)
+}
+
+// enqueueRequest routes a new or retried request to an idle walker,
+// the scheduler buffer, or the overflow queue, applying NACK/backoff
+// backpressure when the overflow queue is bounded and full. attempt
+// counts NACK retries for the backoff schedule.
+func (io *IOMMU) enqueueRequest(r *core.Request, attempt int) {
 	if io.idleWalkers > 0 {
 		io.nextRule = core.DecisionNone // direct start, no scheduler pick
 		io.startWalk(r)
@@ -410,9 +482,26 @@ func (io *IOMMU) enqueueWalk(req TranslateReq) {
 		io.admit(r)
 		return
 	}
+	if max := io.cfg.OverflowEntries; max > 0 && len(io.preQueue) >= max {
+		io.stats.OverflowNACKs++
+		if tr := io.tr; tr != nil {
+			tr.Instant(io.trkSched, "sched", "overflow-nack",
+				obs.U64("seq", r.Seq), obs.U64("vpn", r.VPN),
+				obs.U64("attempt", uint64(attempt)))
+		}
+		io.eng.After(io.backoff(attempt), func() {
+			// Re-stamp the arrival sequence: other requests were
+			// admitted during the backoff, and the indexed schedulers
+			// require monotone admission order.
+			io.seq++
+			r.Seq = io.seq
+			io.enqueueRequest(r, attempt+1)
+		})
+		return
+	}
 	io.preQueue = append(io.preQueue, r)
 	if io.cfg.MergeSameVPN {
-		io.preVPNs[req.VPN]++
+		io.preVPNs[r.VPN]++
 	}
 	if len(io.preQueue) > io.stats.PreQueuePeak {
 		io.stats.PreQueuePeak = len(io.preQueue)
@@ -449,6 +538,19 @@ func (io *IOMMU) upperLevels() int {
 // it to the scheduler-visible buffer.
 func (io *IOMMU) admit(r *core.Request) {
 	r.Est = io.pwc.ProbeN(io.vpn4k(r.VPN), io.upperLevels())
+	if io.inj != nil {
+		// Probe corruption only skews the scheduling score; the PWC's
+		// protection counters were already adjusted by the real probe,
+		// so the counter guard stays balanced.
+		if est, corrupted := io.inj.CorruptEst(r.Est, io.upperLevels()+1); corrupted {
+			r.Est = est
+			if tr := io.tr; tr != nil {
+				tr.Instant(io.trkFault, "fault", "probe-corrupt",
+					obs.U64("seq", r.Seq), obs.U64("vpn", r.VPN),
+					obs.U64("est", uint64(est)))
+			}
+		}
+	}
 	if io.cfg.MergeSameVPN {
 		io.bufVPNs[r.VPN]++
 	}
@@ -540,9 +642,19 @@ func (io *IOMMU) startWalk(r *core.Request) {
 		io.freeWalkers = io.freeWalkers[:len(io.freeWalkers)-1]
 		io.walkStart[r] = walkSlot{walker: wid, start: io.eng.Now()}
 	}
+	kill := false
 	if _, isPrefetch := io.prefetchReqs[r]; !isPrefetch {
 		io.stats.WalksStarted++
 		io.stats.BufferWait.Add(float64(io.eng.Now() - r.Arrive))
+		// Fault injection draws at demand dispatch: one kill decision
+		// per dispatch keeps the decision stream deterministic, and a
+		// non-present flip unmaps the leaf before the walk reads it.
+		if io.inj != nil {
+			kill = io.inj.KillWalker()
+			if io.inj.FaultWalk() {
+				io.pt.SetPresent(io.vpn4k(r.VPN), false)
+			}
+		}
 		// Demand walks accept same-VPN merges while in flight.
 		// Prefetch walks must not: their completion path replies to
 		// no one, so a request merged onto one would never finish.
@@ -576,12 +688,16 @@ func (io *IOMMU) startWalk(r *core.Request) {
 
 	io.eng.After(io.cfg.PWCLat, func() {
 		vpn4k := io.vpn4k(r.VPN)
-		path := io.pt.WalkPath(vpn4k)
+		path, faulted := io.pt.WalkPathFault(vpn4k)
 		n := io.pwc.LookupN(vpn4k, len(path)-1)
 		if n < 1 || n > len(path) {
 			panic("iommu: PWC returned invalid access count")
 		}
-		io.issueWalkAccess(r, path[len(path)-n:], n)
+		w := &walkState{r: r, addrs: path[len(path)-n:], total: n, faulted: faulted, killAfter: -1}
+		if kill {
+			w.killAfter = 1 // the walker dies after its first PTE read
+		}
+		io.issueWalkAccess(w)
 	})
 }
 
@@ -594,58 +710,95 @@ func (io *IOMMU) vpn4k(vpn uint64) uint64 {
 	return vpn
 }
 
+// walkState tracks one in-flight walk through its dependent PTE reads,
+// including fault discovery and injected walker death.
+type walkState struct {
+	r         *core.Request
+	addrs     []uint64 // remaining PTE reads
+	total     int      // reads a full walk performs
+	done      int      // reads completed so far
+	faulted   bool     // the final read finds a non-present PTE
+	killAfter int      // abort after this many reads (-1 = never)
+}
+
 // issueWalkAccess performs the remaining PTE reads sequentially; each
 // read depends on the previous one's result, as in a real radix walk.
-func (io *IOMMU) issueWalkAccess(r *core.Request, addrs []uint64, total int) {
-	if len(addrs) == 0 {
-		io.finishWalk(r, total)
+// Between reads it honours an injected walker kill, and after the last
+// read it routes a non-present leaf to the page-fault path.
+func (io *IOMMU) issueWalkAccess(w *walkState) {
+	if w.killAfter >= 0 && w.done >= w.killAfter {
+		io.abortWalk(w)
 		return
 	}
-	ok := io.dram(addrs[0], func() {
-		io.issueWalkAccess(r, addrs[1:], total)
+	if len(w.addrs) == 0 {
+		if w.faulted {
+			io.pageFault(w.r, w.done)
+			return
+		}
+		io.finishWalk(w.r, w.total)
+		return
+	}
+	ok := io.dram(w.addrs[0], func() {
+		w.done++
+		w.addrs = w.addrs[1:]
+		io.issueWalkAccess(w)
 	})
 	if !ok {
 		d := io.cfg.RetryDelay
 		if d == 0 {
 			d = 8
 		}
-		io.eng.After(d, func() { io.issueWalkAccess(r, addrs, total) })
+		io.eng.After(d, func() { io.issueWalkAccess(w) })
+	}
+}
+
+// releaseWalker returns r's walker identity to the free pool (the idle
+// counter and busy integral stay with the caller), closing the walk
+// trace span under the given outcome and logging completed walks in
+// the schedule log.
+func (io *IOMMU) releaseWalker(r *core.Request, outcome string, accesses int) {
+	if !io.trackWalkers {
+		return
+	}
+	slot := io.walkStart[r]
+	delete(io.walkStart, r)
+	io.freeWalkers = append(io.freeWalkers, slot.walker)
+	if tr := io.tr; tr != nil {
+		tr.Span(io.trkWalker[slot.walker], "walk", outcome, slot.start, io.eng.Now(),
+			obs.U64("vpn", r.VPN), obs.U64("instr", uint64(r.Instr)),
+			obs.U64("accesses", uint64(accesses)))
+	}
+	if io.cfg.RecordSchedule && outcome == "walk" {
+		limit := io.cfg.RecordLimit
+		if limit == 0 {
+			limit = 4096
+		}
+		if len(io.schedule) < limit {
+			io.schedule = append(io.schedule, WalkRecord{
+				Walker: slot.walker,
+				Start:  slot.start,
+				End:    io.eng.Now(),
+				Instr:  r.Instr,
+				VPN:    r.VPN,
+			})
+		}
 	}
 }
 
 // finishWalk completes a walk: fills PWC and IOMMU TLBs, replies to the
 // GPU, frees the walker (step 9).
 func (io *IOMMU) finishWalk(r *core.Request, accesses int) {
-	if io.trackWalkers {
-		slot := io.walkStart[r]
-		delete(io.walkStart, r)
-		io.freeWalkers = append(io.freeWalkers, slot.walker)
-		if tr := io.tr; tr != nil {
-			tr.Span(io.trkWalker[slot.walker], "walk", "walk", slot.start, io.eng.Now(),
-				obs.U64("vpn", r.VPN), obs.U64("instr", uint64(r.Instr)),
-				obs.U64("accesses", uint64(accesses)))
-		}
-		if io.cfg.RecordSchedule {
-			limit := io.cfg.RecordLimit
-			if limit == 0 {
-				limit = 4096
-			}
-			if len(io.schedule) < limit {
-				io.schedule = append(io.schedule, WalkRecord{
-					Walker: slot.walker,
-					Start:  slot.start,
-					End:    io.eng.Now(),
-					Instr:  r.Instr,
-					VPN:    r.VPN,
-				})
-			}
-		}
-	}
 	vpn4k := io.vpn4k(r.VPN)
 	pfn, pageBits, ok := io.pt.TranslateAny(vpn4k)
 	if !ok {
-		panic(fmt.Sprintf("iommu: walk of unmapped vpn %#x", r.VPN))
+		// The mapping vanished between this walk's PTE reads and its
+		// completion (injection can unmap a VPN under a concurrent
+		// duplicate walk): treat it as a fault discovered at the end
+		// of the walk. Without a fault model this stays fatal.
+		io.pageFault(r, accesses)
+		return
 	}
+	io.releaseWalker(r, "walk", accesses)
 	upper := mmu.Levels - 1 // 4 KB leaf: PML4, PDPT, PD cacheable
 	if pageBits == mmu.LargePageBits {
 		upper = mmu.Levels - 2 // 2 MB leaf: only PML4, PDPT cacheable

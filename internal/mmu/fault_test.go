@@ -1,0 +1,116 @@
+package mmu
+
+import "testing"
+
+// newTestSpace builds a small premapped address space for fault tests.
+func newTestSpace(t *testing.T, large bool) *AddressSpace {
+	t.Helper()
+	pm := NewPhysMem(1 << 30)
+	as := NewAddressSpace(pm, NewAllocator(pm, 42))
+	if large {
+		pm = NewPhysMem(8 << 30)
+		as = NewAddressSpace(pm, NewAllocator(pm, 42))
+		as.PageBits = LargePageBits
+	}
+	return as
+}
+
+func TestSetPresentRoundTrip(t *testing.T) {
+	as := newTestSpace(t, false)
+	const vpn = 0x1234
+	if _, err := as.Ensure(vpn << PageBits); err != nil {
+		t.Fatal(err)
+	}
+	pfn, ok := as.PT.Translate(vpn)
+	if !ok {
+		t.Fatal("premapped vpn does not translate")
+	}
+
+	if !as.PT.SetPresent(vpn, false) {
+		t.Fatal("SetPresent(false) on a mapped vpn reported no leaf")
+	}
+	if _, ok := as.PT.Translate(vpn); ok {
+		t.Fatal("vpn still translates after present bit cleared")
+	}
+	path, fault := as.PT.WalkPathFault(vpn)
+	if !fault {
+		t.Fatal("WalkPathFault did not report a fault")
+	}
+	if len(path) != Levels {
+		t.Fatalf("leaf-level fault path has %d reads, want %d", len(path), Levels)
+	}
+
+	if !as.PT.SetPresent(vpn, true) {
+		t.Fatal("SetPresent(true) reported no leaf")
+	}
+	pfn2, ok := as.PT.Translate(vpn)
+	if !ok || pfn2 != pfn {
+		t.Fatalf("restored translation = (%#x, %v), want (%#x, true)", pfn2, ok, pfn)
+	}
+	if path2, fault := as.PT.WalkPathFault(vpn); fault {
+		t.Fatal("restored vpn still faults")
+	} else if len(path2) != Levels {
+		t.Fatalf("restored path has %d reads, want %d", len(path2), Levels)
+	}
+}
+
+func TestSetPresentLargePage(t *testing.T) {
+	as := newTestSpace(t, true)
+	const lvpn = 7
+	if _, err := as.Ensure(lvpn << LargePageBits); err != nil {
+		t.Fatal(err)
+	}
+	vpn := uint64(lvpn) << LevelBits // 4 KB-granular vpn of the region base
+	pfn, ok := as.PT.Translate(vpn)
+	if !ok {
+		t.Fatal("premapped large page does not translate")
+	}
+	if !as.PT.SetPresent(vpn, false) {
+		t.Fatal("SetPresent(false) on a large page reported no leaf")
+	}
+	path, fault := as.PT.WalkPathFault(vpn)
+	if !fault || len(path) != Levels-1 {
+		t.Fatalf("large-page fault = (%d reads, %v), want (%d, true)", len(path), fault, Levels-1)
+	}
+	if !as.PT.SetPresent(vpn, true) {
+		t.Fatal("SetPresent(true) on a large page reported no leaf")
+	}
+	if pfn2, ok := as.PT.Translate(vpn); !ok || pfn2 != pfn {
+		t.Fatalf("restored large-page translation = (%#x, %v), want (%#x, true)", pfn2, ok, pfn)
+	}
+}
+
+func TestSetPresentUnmapped(t *testing.T) {
+	as := newTestSpace(t, false)
+	if as.PT.SetPresent(0xdead, true) {
+		t.Fatal("SetPresent on a never-mapped vpn reported a leaf")
+	}
+	if as.PT.SetPresent(0xdead, false) {
+		t.Fatal("SetPresent(false) on a never-mapped vpn reported a leaf")
+	}
+}
+
+// TestWalkPathFaultMatchesWalkPath pins that the fault-tolerant walk
+// returns exactly the same read sequence as the panicking one for
+// mapped pages.
+func TestWalkPathFaultMatchesWalkPath(t *testing.T) {
+	as := newTestSpace(t, false)
+	for vpn := uint64(0); vpn < 64; vpn++ {
+		if _, err := as.Ensure(vpn << PageBits); err != nil {
+			t.Fatal(err)
+		}
+		want := as.PT.WalkPath(vpn)
+		got, fault := as.PT.WalkPathFault(vpn)
+		if fault {
+			t.Fatalf("vpn %#x: unexpected fault", vpn)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("vpn %#x: path lengths differ: %d vs %d", vpn, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("vpn %#x: path[%d] = %#x, want %#x", vpn, i, got[i], want[i])
+			}
+		}
+	}
+}

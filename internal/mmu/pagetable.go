@@ -137,6 +137,20 @@ func (pt *PageTable) WalkAddrs(vpn uint64) [Levels]uint64 {
 // reads: four for a 4 KB mapping, three for a 2 MB mapping (whose PD
 // entry is the leaf). It panics on an unmapped vpn (see WalkAddrs).
 func (pt *PageTable) WalkPath(vpn uint64) []uint64 {
+	path, fault := pt.WalkPathFault(vpn)
+	if fault {
+		panic(fmt.Sprintf("mmu: WalkPath on unmapped vpn %#x at level %d", vpn, len(path)-1))
+	}
+	return path
+}
+
+// WalkPathFault is the fault-tolerant WalkPath: it returns the PTE
+// addresses a walk of vpn reads, stopping at (and including) the first
+// non-present entry, and reports whether the walk faults. A hardware
+// walker issues exactly these reads; the last one is where it discovers
+// the fault. For a fully mapped vpn the path and semantics match
+// WalkPath exactly.
+func (pt *PageTable) WalkPathFault(vpn uint64) (path []uint64, fault bool) {
 	out := make([]uint64, 0, Levels)
 	tbl := pt.root
 	for level := 0; level < Levels; level++ {
@@ -144,14 +158,47 @@ func (pt *PageTable) WalkPath(vpn uint64) []uint64 {
 		out = append(out, addr)
 		pte := pt.mem.ReadWord(addr)
 		if pte&FlagPresent == 0 {
-			panic(fmt.Sprintf("mmu: WalkPath on unmapped vpn %#x at level %d", vpn, level))
+			return out, true
 		}
 		if level == Levels-2 && pte&FlagPS != 0 {
-			return out // 2 MB leaf
+			return out, false // 2 MB leaf
 		}
 		tbl = pte &^ (PageSize - 1)
 	}
-	return out
+	return out, false
+}
+
+// SetPresent flips the present bit of vpn's leaf PTE (a PT entry for a
+// 4 KB page or a PS-marked PD entry for a 2 MB page) while preserving
+// the mapped frame, and reports whether a leaf PTE was found. Clearing
+// present models the OS paging the page out from under the IOMMU;
+// setting it back models fault service reinstating the mapping. Upper
+// table levels are never touched. SetPresent on a never-mapped vpn
+// reports false.
+func (pt *PageTable) SetPresent(vpn uint64, present bool) bool {
+	tbl := pt.root
+	for level := 0; level < Levels; level++ {
+		addr := tbl + levelIndex(vpn, level)*PTESize
+		pte := pt.mem.ReadWord(addr)
+		leaf := level == Levels-1 || (level == Levels-2 && pte&FlagPS != 0)
+		if leaf {
+			if pte == 0 {
+				return false // never mapped
+			}
+			if present {
+				pte |= FlagPresent
+			} else {
+				pte &^= FlagPresent
+			}
+			pt.mem.WriteWord(addr, pte)
+			return true
+		}
+		if pte&FlagPresent == 0 {
+			return false
+		}
+		tbl = pte &^ (PageSize - 1)
+	}
+	return false
 }
 
 // AddressSpace wraps a page table with on-demand mapping: the first

@@ -5,8 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
+
+	"gpuwalk/internal/atomicio"
 )
 
 // This file writes a Tracer's buffer in the Chrome trace_event JSON
@@ -108,18 +109,11 @@ func jsonString(s string) string {
 	return string(b)
 }
 
-// WriteChromeFile writes the trace to the named file.
-func (t *Tracer) WriteChromeFile(path string) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	return t.WriteChrome(f)
+// WriteChromeFile writes the trace to the named file, atomically: a
+// failed write leaves any existing file untouched rather than
+// truncated.
+func (t *Tracer) WriteChromeFile(path string) error {
+	return atomicio.WriteFile(path, t.WriteChrome)
 }
 
 // chromeEvent is the decoded shape CheckChrome validates against.

@@ -5,8 +5,9 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"strconv"
+
+	"gpuwalk/internal/atomicio"
 )
 
 // Registry is a metrics registry sampled into a CSV time series: one
@@ -140,18 +141,11 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 	return bw.Flush()
 }
 
-// WriteCSVFile writes the time series to the named file.
-func (r *Registry) WriteCSVFile(path string) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	return r.WriteCSV(f)
+// WriteCSVFile writes the time series to the named file, atomically: a
+// failed write leaves any existing file untouched rather than
+// truncated.
+func (r *Registry) WriteCSVFile(path string) error {
+	return atomicio.WriteFile(path, r.WriteCSV)
 }
 
 // csvField quotes a header field if it contains CSV metacharacters

@@ -17,6 +17,10 @@ type event struct {
 	at  Cycle
 	seq uint64 // tie-breaker: FIFO among events on the same cycle
 	fn  func()
+	// daemon events (watchdog checks, monitors) never keep the engine
+	// alive: when only daemons remain the run is over and they are
+	// silently discarded. See AfterDaemon.
+	daemon bool
 }
 
 // eventHeap is a min-heap ordered by (at, seq).
@@ -53,6 +57,10 @@ type Engine struct {
 	// dispatched counts events executed since construction; useful for
 	// progress reporting and runaway detection in tests.
 	dispatched uint64
+	// aborted stops Step from executing further events; see Abort.
+	aborted bool
+	// daemons counts queued daemon events; see AfterDaemon.
+	daemons int
 }
 
 // NewEngine returns an engine with clock at cycle 0.
@@ -64,8 +72,10 @@ func (e *Engine) Now() Cycle { return e.now }
 // Dispatched returns the number of events executed so far.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
 
-// Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of queued events that keep the simulation
+// alive. Daemon events are excluded: a model is drained when Pending
+// reaches zero even if a watchdog check is still armed.
+func (e *Engine) Pending() int { return len(e.events) - e.daemons }
 
 // At schedules fn to run at absolute cycle c. Scheduling in the past
 // (c < Now) panics: it always indicates a model bug, and silently
@@ -84,13 +94,42 @@ func (e *Engine) After(d uint64, fn func()) {
 	e.At(e.now+Cycle(d), fn)
 }
 
+// AfterDaemon schedules fn like After, but as a daemon: it fires only
+// while non-daemon work remains queued, and once daemons are the only
+// events left the run ends with them undispatched. Use it for periodic
+// observers (watchdog checks) that must never extend a simulation past
+// its real work or hold it alive.
+func (e *Engine) AfterDaemon(d uint64, fn func()) {
+	if e.now+Cycle(d) < e.now {
+		panic("sim: daemon event cycle overflow")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + Cycle(d), seq: e.seq, fn: fn, daemon: true})
+	e.daemons++
+}
+
+// Abort makes the engine refuse to execute further events: Step (and
+// therefore Run and its variants) returns false from now on, with any
+// remaining events left in the queue. The watchdog uses it to halt a
+// livelocked simulation so Run can return a diagnostic instead of
+// spinning forever.
+func (e *Engine) Abort() { e.aborted = true }
+
+// Aborted reports whether Abort has been called.
+func (e *Engine) Aborted() bool { return e.aborted }
+
 // Step executes the next event, advancing the clock to its cycle.
-// It reports whether an event was executed.
+// It reports whether an event was executed. When only daemon events
+// remain the simulation is over: Step reports false without running
+// them.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.aborted || len(e.events) == e.daemons {
 		return false
 	}
 	ev := heap.Pop(&e.events).(event)
+	if ev.daemon {
+		e.daemons--
+	}
 	e.now = ev.at
 	e.dispatched++
 	ev.fn()
@@ -110,12 +149,14 @@ func (e *Engine) Run() Cycle {
 // queue drained, false if stopped at the limit with events pending.
 // The clock never passes limit.
 func (e *Engine) RunUntil(limit Cycle) bool {
-	for len(e.events) > 0 {
+	for len(e.events) > e.daemons {
 		if e.events[0].at > limit {
 			e.now = limit
 			return false
 		}
-		e.Step()
+		if !e.Step() { // aborted
+			return false
+		}
 	}
 	return true
 }

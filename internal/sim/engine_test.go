@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestEngineOrdering(t *testing.T) {
 	e := NewEngine()
@@ -219,5 +222,98 @@ func TestPortUnlimited(t *testing.T) {
 		if got := p.Acquire(7); got != 7 {
 			t.Fatalf("unlimited port Acquire = %d, want 7", got)
 		}
+	}
+}
+
+// TestEngineSameCycleInsertionOrder pins the tie-breaking contract the
+// whole simulator's determinism rests on: events scheduled for the
+// same cycle fire in exactly the order they were inserted, even when
+// the insertions are interleaved with events for other cycles and
+// issued from inside running callbacks.
+func TestEngineSameCycleInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	// Interleave insertions for cycles 50 and 60 so heap sift order
+	// differs from insertion order.
+	e.At(60, func() { got = append(got, 104) })
+	e.At(50, func() { got = append(got, 1) })
+	e.At(60, func() { got = append(got, 105) })
+	e.At(50, func() { got = append(got, 2) })
+	e.At(50, func() {
+		got = append(got, 3)
+		// Scheduled mid-run for an already-populated future cycle:
+		// must fire after everything queued for 60 so far.
+		e.At(60, func() { got = append(got, 106) })
+	})
+	e.At(60, func() { got = append(got, 103) })
+	e.Run()
+	want := []int{1, 2, 3, 104, 105, 103, 106}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("same-cycle order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineAbort(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() {
+		ran++
+		e.Abort()
+	})
+	e.At(30, func() { ran++ })
+	final := e.Run()
+	if ran != 2 {
+		t.Errorf("ran = %d events, want 2 (abort must stop the third)", ran)
+	}
+	if final != 20 {
+		t.Errorf("final cycle = %d, want 20", final)
+	}
+	if !e.Aborted() {
+		t.Error("Aborted() = false after Abort")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1 event left behind", e.Pending())
+	}
+	if e.Step() {
+		t.Error("Step executed an event after Abort")
+	}
+}
+
+func TestRunUntilAborted(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() { e.Abort() })
+	e.At(20, func() { t.Error("event ran after abort") })
+	if e.RunUntil(100) {
+		t.Error("RunUntil reported drained despite abort")
+	}
+}
+
+// TestEngineDaemonEvents pins daemon semantics: a daemon fires while
+// real work remains, is excluded from Pending, and cannot keep the
+// engine alive — the run ends at the last real event.
+func TestEngineDaemonEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	e.After(10, func() { fired = append(fired, "work") })
+	e.AfterDaemon(5, func() { fired = append(fired, "daemon") })
+	e.AfterDaemon(100, func() { fired = append(fired, "late-daemon") })
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1 (daemons excluded)", e.Pending())
+	}
+	final := e.Run()
+	if got, want := fmt.Sprint(fired), "[daemon work]"; got != want {
+		t.Errorf("fired %v, want %v", got, want)
+	}
+	if final != 10 {
+		t.Errorf("run ended at cycle %d, want 10 (late daemon must not extend it)", final)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain, want 0", e.Pending())
 	}
 }

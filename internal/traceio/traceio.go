@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"gpuwalk/internal/atomicio"
 	"gpuwalk/internal/workload"
 )
 
@@ -67,18 +68,12 @@ func Load(r io.Reader) (*workload.Trace, error) {
 	return &tr, nil
 }
 
-// SaveFile writes tr to the named file, creating or truncating it.
-func SaveFile(path string, tr *workload.Trace) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	return Save(f, tr)
+// SaveFile writes tr to the named file, atomically: a failed write
+// leaves any existing file untouched rather than truncated.
+func SaveFile(path string, tr *workload.Trace) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return Save(w, tr)
+	})
 }
 
 // LoadFile reads a trace from the named file.

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file defines a line-oriented text form of Trace for hand-written
+// workloads and debugging (the archival format stays traceio's
+// gob+gzip). Grammar, one directive per line:
+//
+//	trace <name>          trace header; must come first
+//	irregular             mark the trace irregular
+//	footprint <bytes>     declared virtual footprint
+//	app <name>            register a co-running app (in index order)
+//	wavefront <cu> [app]  start a wavefront pinned to a CU
+//	r <hex> [<hex>...]    read instruction, one address per lane
+//	w <hex> [<hex>...]    write instruction, one address per lane
+//	# comment             ignored, as are blank lines
+//
+// Addresses are hex with or without an 0x prefix. FormatText emits this
+// grammar canonically; ParseText(FormatText(t)) round-trips any valid
+// trace.
+
+// ParseText reads the text trace format. It returns the first syntax or
+// structural error with its line number.
+func ParseText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	t := &Trace{}
+	var cur *WavefrontTrace
+	seenHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		dir, args := fields[0], fields[1:]
+		if !seenHeader && dir != "trace" {
+			return nil, fmt.Errorf("workload: line %d: first directive must be \"trace <name>\", got %q", line, dir)
+		}
+		switch dir {
+		case "trace":
+			if seenHeader {
+				return nil, fmt.Errorf("workload: line %d: duplicate trace header", line)
+			}
+			if len(args) != 1 {
+				return nil, fmt.Errorf("workload: line %d: trace wants exactly one name", line)
+			}
+			t.Name = args[0]
+			seenHeader = true
+		case "irregular":
+			if len(args) != 0 {
+				return nil, fmt.Errorf("workload: line %d: irregular takes no arguments", line)
+			}
+			t.Irregular = true
+		case "footprint":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("workload: line %d: footprint wants one byte count", line)
+			}
+			v, err := strconv.ParseUint(args[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: footprint: %v", line, err)
+			}
+			t.Footprint = v
+		case "app":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("workload: line %d: app wants exactly one name", line)
+			}
+			if len(t.Wavefronts) > 0 {
+				return nil, fmt.Errorf("workload: line %d: app directives must precede wavefronts", line)
+			}
+			t.Apps = append(t.Apps, args[0])
+		case "wavefront":
+			if len(args) < 1 || len(args) > 2 {
+				return nil, fmt.Errorf("workload: line %d: wavefront wants <cu> [app]", line)
+			}
+			cu, err := strconv.Atoi(args[0])
+			if err != nil || cu < 0 {
+				return nil, fmt.Errorf("workload: line %d: bad CU %q", line, args[0])
+			}
+			app := 0
+			if len(args) == 2 {
+				app, err = strconv.Atoi(args[1])
+				if err != nil || app < 0 {
+					return nil, fmt.Errorf("workload: line %d: bad app index %q", line, args[1])
+				}
+			}
+			if app >= t.AppCount() {
+				return nil, fmt.Errorf("workload: line %d: app index %d of %d declared", line, app, t.AppCount())
+			}
+			t.Wavefronts = append(t.Wavefronts, WavefrontTrace{CU: cu, App: app})
+			cur = &t.Wavefronts[len(t.Wavefronts)-1]
+		case "r", "w":
+			if cur == nil {
+				return nil, fmt.Errorf("workload: line %d: instruction before any wavefront", line)
+			}
+			if len(args) == 0 {
+				return nil, fmt.Errorf("workload: line %d: instruction with no lanes", line)
+			}
+			lanes := make([]uint64, len(args))
+			for i, a := range args {
+				v, err := strconv.ParseUint(strings.TrimPrefix(a, "0x"), 16, 64)
+				if err != nil {
+					return nil, fmt.Errorf("workload: line %d: bad address %q", line, a)
+				}
+				lanes[i] = v
+			}
+			cur.Instrs = append(cur.Instrs, MemInstr{Lanes: lanes, Write: dir == "w"})
+		default:
+			return nil, fmt.Errorf("workload: line %d: unknown directive %q", line, dir)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if !seenHeader {
+		return nil, fmt.Errorf("workload: empty input, want a \"trace <name>\" header")
+	}
+	if len(t.Wavefronts) == 0 {
+		return nil, fmt.Errorf("workload: trace %s has no wavefronts", t.Name)
+	}
+	return t, nil
+}
+
+// FormatText writes t in the canonical text form ParseText reads.
+func FormatText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "trace %s\n", t.Name)
+	if t.Irregular {
+		fmt.Fprintln(bw, "irregular")
+	}
+	if t.Footprint != 0 {
+		fmt.Fprintf(bw, "footprint %d\n", t.Footprint)
+	}
+	for _, a := range t.Apps {
+		fmt.Fprintf(bw, "app %s\n", a)
+	}
+	for wi := range t.Wavefronts {
+		wf := &t.Wavefronts[wi]
+		if wf.App != 0 {
+			fmt.Fprintf(bw, "wavefront %d %d\n", wf.CU, wf.App)
+		} else {
+			fmt.Fprintf(bw, "wavefront %d\n", wf.CU)
+		}
+		for ii := range wf.Instrs {
+			in := &wf.Instrs[ii]
+			op := "r"
+			if in.Write {
+				op = "w"
+			}
+			bw.WriteString(op)
+			for _, va := range in.Lanes {
+				fmt.Fprintf(bw, " %x", va)
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleText = `# hand-written two-CU trace
+trace demo
+irregular
+footprint 8192
+wavefront 0
+r 1000 1040 2000
+w 0x3000
+wavefront 1
+r ffffffffffff0000
+`
+
+func TestParseTextSample(t *testing.T) {
+	tr, err := ParseText(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "demo" || !tr.Irregular || tr.Footprint != 8192 {
+		t.Errorf("header = %q/%v/%d", tr.Name, tr.Irregular, tr.Footprint)
+	}
+	if len(tr.Wavefronts) != 2 {
+		t.Fatalf("wavefronts = %d", len(tr.Wavefronts))
+	}
+	w0 := tr.Wavefronts[0]
+	if w0.CU != 0 || len(w0.Instrs) != 2 {
+		t.Fatalf("wavefront 0 = %+v", w0)
+	}
+	if got := w0.Instrs[0].Lanes; !reflect.DeepEqual(got, []uint64{0x1000, 0x1040, 0x2000}) {
+		t.Errorf("lanes = %#x", got)
+	}
+	if !w0.Instrs[1].Write || w0.Instrs[1].Lanes[0] != 0x3000 {
+		t.Errorf("write instr = %+v", w0.Instrs[1])
+	}
+	if tr.Wavefronts[1].Instrs[0].Lanes[0] != 0xffffffffffff0000 {
+		t.Errorf("large address mangled: %#x", tr.Wavefronts[1].Instrs[0].Lanes[0])
+	}
+	if err := tr.Validate(2); err != nil {
+		t.Errorf("parsed trace does not validate: %v", err)
+	}
+}
+
+func TestParseTextMultiApp(t *testing.T) {
+	in := "trace pair\napp alpha\napp beta\nwavefront 0\nr 10\nwavefront 1 1\nw 20\n"
+	tr, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.AppCount() != 2 || tr.Wavefronts[1].App != 1 {
+		t.Errorf("apps = %v, wf1 app = %d", tr.Apps, tr.Wavefronts[1].App)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":           "wavefront 0\nr 10\n",
+		"empty":               "",
+		"dup header":          "trace a\ntrace b\nwavefront 0\nr 1\n",
+		"instr before wf":     "trace a\nr 10\n",
+		"no lanes":            "trace a\nwavefront 0\nr\n",
+		"bad address":         "trace a\nwavefront 0\nr zz\n",
+		"bad cu":              "trace a\nwavefront x\nr 1\n",
+		"unknown directive":   "trace a\nbogus\n",
+		"app after wavefront": "trace a\nwavefront 0\nr 1\napp late\n",
+		"app out of range":    "trace a\napp one\nwavefront 0 5\nr 1\n",
+		"no wavefronts":       "trace a\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ParseText accepted %q", name, in)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	// A generated benchmark trace must survive format -> parse intact.
+	g, err := ByName("MVT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := g.Generate(GenConfig{Scale: 0.01, CUs: 2, WavefrontWidth: 8,
+		WavefrontsPerCU: 2, InstrsPerWavefront: 4, Seed: 3}.WithDefaults())
+	var buf bytes.Buffer
+	if err := FormatText(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("reparse of formatted trace: %v", err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Error("trace changed across format/parse round trip")
+	}
+}
+
+// FuzzParseText checks that ParseText never panics and that any input
+// it accepts survives a format -> reparse round trip byte-exactly in
+// structure.
+func FuzzParseText(f *testing.F) {
+	f.Add(sampleText)
+	f.Add("trace t\nwavefront 0\nr 0\n")
+	f.Add("trace m\napp a\napp b\nfootprint 123\nwavefront 3 1\nw 1 2 3\n")
+	f.Add("trace x\n# only comments\nwavefront 0\nr ffffffffffffffff\n")
+	f.Add("trace bad\nwavefront -1\n")
+	f.Add("not a trace at all")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ParseText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := FormatText(&buf, tr); err != nil {
+			t.Fatalf("FormatText failed on accepted trace: %v", err)
+		}
+		back, err := ParseText(&buf)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("round trip changed trace:\n%+v\nvs\n%+v", tr, back)
+		}
+	})
+}
