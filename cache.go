@@ -1,0 +1,71 @@
+package gpuwalk
+
+import (
+	"context"
+	"fmt"
+
+	"gpuwalk/internal/simcache"
+)
+
+// ResultCache is a persistent content-addressed store of simulation
+// results, keyed by ConfigHash. It is what lets an interrupted sweep
+// resume incrementally and a repeated one return near-instantly: the
+// cached payload is the byte-exact JSON encoding of the Result a fresh
+// simulation of the same config would produce.
+//
+// cmd/gpuwalkd serves jobs through one, cmd/paperfigs reuses one across
+// sweeps (-resume / -cache), and examples/sensitivity shows the client
+// pattern. See docs/SERVER.md for the on-disk layout.
+type ResultCache = simcache.Cache
+
+// ResultCacheStats counts cache activity (hits, misses, puts,
+// evictions, integrity-check drops).
+type ResultCacheStats = simcache.Stats
+
+// OpenResultCache opens (creating if needed) a result cache rooted at
+// dir. maxBytes caps the store's payload size with LRU eviction;
+// 0 means unlimited. Entries are written atomically and digest-checked
+// on every read, so a crashed writer can never corrupt later runs.
+func OpenResultCache(dir string, maxBytes int64) (*ResultCache, error) {
+	return simcache.Open(dir, simcache.Options{MaxBytes: maxBytes})
+}
+
+// RunCached is Run with read-through/write-through persistence: a
+// config already in the cache returns its stored result without
+// simulating (hit=true); a miss simulates under ctx and stores the
+// result before returning. Configs that cannot be hashed (custom
+// schedulers) bypass the cache and always simulate, as does a nil
+// cache, so callers can make persistence an option without branching.
+func RunCached(ctx context.Context, c *ResultCache, cfg Config) (res Result, hit bool, err error) {
+	if c == nil {
+		res, err = RunContext(ctx, cfg)
+		return res, false, err
+	}
+	key, err := ConfigHash(cfg)
+	if err == ErrUncacheable {
+		res, err = RunContext(ctx, cfg)
+		return res, false, err
+	}
+	if err != nil {
+		return Result{}, false, err
+	}
+	ok, err := c.GetJSON(key, &res)
+	if err != nil {
+		return Result{}, false, err
+	}
+	if ok {
+		return res, true, nil
+	}
+	res, err = RunContext(ctx, cfg)
+	if err != nil {
+		return Result{}, false, err
+	}
+	if _, err := c.PutJSON(key, res); err != nil {
+		// The simulation succeeded; a failing cache write is still an
+		// error (the store is misconfigured or the disk is full) but the
+		// result is returned alongside it so callers can choose to
+		// proceed uncached.
+		return res, false, fmt.Errorf("gpuwalk: caching result: %w", err)
+	}
+	return res, false, nil
+}

@@ -1,0 +1,153 @@
+// Command gpuwalkd serves simulations over HTTP. Clients POST a
+// configuration (or a sweep of them) to /v1/jobs; a bounded priority
+// queue feeds a worker pool, and every completed run lands in a
+// persistent content-addressed cache, so resubmitting an identical
+// configuration returns its result without simulating.
+//
+//	gpuwalkd -addr :8077 -cache ./results -workers 4
+//
+//	curl -s localhost:8077/v1/jobs -d '{"spec":{"Workload":"MVT","Scheduler":"simt-aware"}}'
+//	curl -s localhost:8077/v1/jobs/j000001
+//	curl -N localhost:8077/v1/jobs/j000001/events
+//
+// See docs/SERVER.md for the full API and the cache layout.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"gpuwalk"
+	"gpuwalk/internal/jobd"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the end-to-end test
+// can drive a real server (real listener, real signals) in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gpuwalkd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "localhost:8077", "listen address")
+		cacheDir     = fs.String("cache", ".gpuwalkd-cache", "result cache directory")
+		cacheBytes   = fs.Int64("cache-max-bytes", 0, "evict least-recently-used results beyond this size (0 = unbounded)")
+		workers      = fs.Int("workers", 0, "simulation worker pool width (0 = one per CPU)")
+		queueSize    = fs.Int("queue", 64, "max queued jobs before submissions are rejected")
+		timeout      = fs.Duration("timeout", 10*time.Minute, "default per-job timeout (0 = none)")
+		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
+		printVersion = fs.Bool("version", false, "print the simulator model version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *printVersion {
+		fmt.Fprintln(stdout, gpuwalk.SimVersion)
+		return 0
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	cache, err := gpuwalk.OpenResultCache(*cacheDir, *cacheBytes)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpuwalkd: opening cache: %v\n", err)
+		return 1
+	}
+
+	srv, err := jobd.NewServer(jobd.Options{
+		Runner:         newRunner(cache),
+		Workers:        *workers,
+		QueueSize:      *queueSize,
+		DefaultTimeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "gpuwalkd: %v\n", err)
+		return 1
+	}
+
+	// SIGTERM/SIGINT triggers a graceful drain: stop accepting jobs,
+	// cancel the queue, let in-flight simulations finish (up to
+	// -drain-timeout), then flush the cache index and exit. Installed
+	// before the listener so a signal is never lost once the address
+	// has been announced.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpuwalkd: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "gpuwalkd: listening on %s (cache %s, %d workers)\n",
+		ln.Addr(), *cacheDir, *workers)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	code := 0
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "gpuwalkd: shutdown signal received, draining")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		if err := srv.Drain(drainCtx); err != nil {
+			fmt.Fprintf(stderr, "gpuwalkd: drain incomplete, in-flight jobs aborted: %v\n", err)
+		}
+		cancel()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = httpSrv.Shutdown(shutCtx)
+		cancel()
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "gpuwalkd: %v\n", err)
+			code = 1
+		}
+		srv.Close()
+	}
+	if err := cache.Close(); err != nil {
+		fmt.Fprintf(stderr, "gpuwalkd: closing cache: %v\n", err)
+		code = 1
+	}
+	st := cache.Stats()
+	fmt.Fprintf(stdout, "gpuwalkd: exiting; cache served %d hits, %d misses, stored %d results\n",
+		st.Hits, st.Misses, st.Puts)
+	return code
+}
+
+// newRunner adapts gpuwalk.RunCached to the jobd Runner contract. A
+// spec is a partial gpuwalk.Config merged over DefaultConfig, so
+// {"Workload":"ATX"} is a complete, valid submission.
+func newRunner(cache *gpuwalk.ResultCache) jobd.Runner {
+	return func(ctx context.Context, spec json.RawMessage) (json.RawMessage, bool, error) {
+		cfg := gpuwalk.DefaultConfig()
+		dec := json.NewDecoder(bytes.NewReader(spec))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			return nil, false, fmt.Errorf("bad spec: %w", err)
+		}
+		res, hit, err := gpuwalk.RunCached(ctx, cache, cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := json.Marshal(res)
+		if err != nil {
+			return nil, false, err
+		}
+		return out, hit, nil
+	}
+}

@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"gpuwalk"
+	"gpuwalk/internal/jobd"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the
+// server's stdout while it runs.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// tinySpec is a fast-but-real simulation config: a scaled-down MVT
+// run that finishes in well under a second.
+func tinySpec(t *testing.T, sched gpuwalk.SchedulerKind) json.RawMessage {
+	t.Helper()
+	cfg := gpuwalk.DefaultConfig()
+	cfg.GPU.CUs = 2
+	cfg.Scheduler = sched
+	cfg.Gen.Scale = 0.02
+	cfg.Gen.WavefrontsPerCU = 2
+	cfg.Gen.InstrsPerWavefront = 6
+	cfg.Seed = 11
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^\s]+) `)
+
+// TestEndToEnd drives a real gpuwalkd: start the server on an
+// ephemeral port, submit a sweep over HTTP, follow its SSE stream,
+// resubmit it and require cache hits with byte-identical results,
+// then SIGTERM the process and check the graceful drain, exit status
+// and cache durability.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end server test")
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-cache", cacheDir,
+			"-workers", "2",
+			"-timeout", "2m",
+			"-drain-timeout", "60s",
+		}, &stdout, &stderr)
+	}()
+
+	// Wait for the announced address.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address\nstdout: %s\nstderr: %s", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Submit a two-point sweep (FCFS vs SIMT-aware on the same tiny
+	// workload).
+	submit := func() jobd.JobView {
+		t.Helper()
+		body, err := json.Marshal(map[string]any{
+			"specs": []json.RawMessage{
+				tinySpec(t, gpuwalk.FCFS),
+				tinySpec(t, gpuwalk.SIMTAware),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("submit status = %d: %s", resp.StatusCode, msg)
+		}
+		var v jobd.JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	first := submit()
+
+	// Follow the SSE stream to completion: replay + live events,
+	// ending with the terminal event when the stream closes.
+	resp, err := http.Get(base + "/v1/jobs/" + first.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "event: ") {
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		}
+	}
+	resp.Body.Close()
+	wantEvents := []string{jobd.EventQueued, jobd.EventStarted, jobd.EventItemDone, jobd.EventItemDone, jobd.EventDone}
+	if strings.Join(events, ",") != strings.Join(wantEvents, ",") {
+		t.Fatalf("SSE events = %v, want %v", events, wantEvents)
+	}
+
+	fetch := func(id string) jobd.JobView {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v jobd.JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	firstDone := fetch(first.ID)
+	if firstDone.State != jobd.StateDone || firstDone.CacheHits != 0 {
+		t.Fatalf("first job = %s with %d cache hits (%s), want done with 0",
+			firstDone.State, firstDone.CacheHits, firstDone.Error)
+	}
+
+	// An identical resubmission must be served entirely from the
+	// cache, with byte-identical results.
+	second := submit()
+	var secondDone jobd.JobView
+	for poll := time.Now().Add(30 * time.Second); ; {
+		secondDone = fetch(second.ID)
+		if secondDone.State.Terminal() {
+			break
+		}
+		if time.Now().After(poll) {
+			t.Fatalf("second job stuck in %s", secondDone.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if secondDone.State != jobd.StateDone || secondDone.CacheHits != 2 {
+		t.Fatalf("second job = %s with %d cache hits (%s), want done with 2",
+			secondDone.State, secondDone.CacheHits, secondDone.Error)
+	}
+	for i := range firstDone.Items {
+		a, b := compactJSON(t, firstDone.Items[i].Result), compactJSON(t, secondDone.Items[i].Result)
+		if a != b {
+			t.Fatalf("item %d: cached result differs from fresh result", i)
+		}
+	}
+
+	// /metrics reflects the work done.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"jobs.submitted 2", "jobs.done 2", "items.cache_hits 2"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// SIGTERM: the server drains gracefully and exits 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatalf("server did not exit after SIGTERM\nstdout: %s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "draining") {
+		t.Fatalf("no drain message in stdout:\n%s", stdout.String())
+	}
+
+	// The cache survives the shutdown: a fresh handle serves the same
+	// config as a hit without re-simulating.
+	cache, err := gpuwalk.OpenResultCache(cacheDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	var cfg gpuwalk.Config
+	if err := json.Unmarshal(tinySpec(t, gpuwalk.FCFS), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, hit, err := gpuwalk.RunCached(context.Background(), cache, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("cache did not survive the server shutdown")
+	}
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := compactJSON(t, firstDone.Items[0].Result); string(got) != want {
+		t.Fatal("reopened cache returned a different result than the server did")
+	}
+}
+
+// TestRunnerRejectsBadSpec: unknown fields and broken JSON fail the
+// item instead of silently simulating a default config.
+func TestRunnerRejectsBadSpec(t *testing.T) {
+	cache, err := gpuwalk.OpenResultCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	r := newRunner(cache)
+	for _, spec := range []string{`{"Workloud":"MVT"}`, `{"GPU":{"CUs":"two"}}`, `not json`} {
+		if _, _, err := r(context.Background(), json.RawMessage(spec)); err == nil {
+			t.Errorf("runner accepted bad spec %s", spec)
+		}
+	}
+}
+
+// TestVersionFlag: -version prints the model version and exits 0.
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != gpuwalk.SimVersion {
+		t.Fatalf("-version printed %q, want %q", got, gpuwalk.SimVersion)
+	}
+}
+
+func compactJSON(t *testing.T, raw json.RawMessage) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatalf("compacting %.60s...: %v", raw, err)
+	}
+	return buf.String()
+}

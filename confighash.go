@@ -1,0 +1,50 @@
+package gpuwalk
+
+import (
+	"errors"
+
+	"gpuwalk/internal/gpu"
+	"gpuwalk/internal/simcache"
+)
+
+// SimVersion names the simulation model's behavior generation. It is
+// folded into every ConfigHash, so results cached under one version are
+// never served after a model change (see internal/gpu.ModelVersion for
+// the bump policy).
+const SimVersion = gpu.ModelVersion
+
+// ErrUncacheable reports a Config whose behavior is not a pure function
+// of its serializable fields, so it cannot be content-addressed.
+var ErrUncacheable = errors.New("gpuwalk: config with a CustomScheduler cannot be hashed")
+
+// ConfigHash returns the content address of a run: the SHA-256 of the
+// canonicalized configuration (workload spec and seed included) plus
+// the simulator version. Two configs that simulate identically hash
+// identically — trace-generation defaults are applied before hashing,
+// so a zero Gen and an explicit WithDefaults() Gen produce the same
+// key, and JSON field order never matters. Any semantic change (a
+// different workload, seed, scheduler, or machine parameter) changes
+// the hash.
+//
+// Configs carrying a CustomScheduler are code, not data, and return
+// ErrUncacheable.
+func ConfigHash(cfg Config) (string, error) {
+	if cfg.CustomScheduler != nil {
+		return "", ErrUncacheable
+	}
+	return simcache.Key("gpuwalk-config", SimVersion, canonicalizeConfig(cfg))
+}
+
+// canonicalizeConfig normalizes cfg the way Run will interpret it:
+// live handles cleared, trace-generation parameters resolved to their
+// effective values (Generate overrides Gen.CUs/WavefrontWidth from the
+// GPU config and applies the scaled defaults).
+func canonicalizeConfig(cfg Config) Config {
+	cfg.CustomScheduler = nil
+	cfg.Obs = ObsConfig{}
+	gen := cfg.Gen
+	gen.CUs = cfg.GPU.CUs
+	gen.WavefrontWidth = cfg.GPU.WavefrontWidth
+	cfg.Gen = gen.WithDefaults()
+	return cfg
+}

@@ -2,49 +2,89 @@
 // Figures 13 and 14 — GPU L2 TLB capacity, page-table-walker count and
 // IOMMU buffer size — for one workload, and print how the SIMT-aware
 // scheduler's advantage over FCFS moves.
+//
+// Every run goes through the persistent result cache, so re-running
+// the sweep (or extending it with more points) only simulates the
+// configurations that have not been seen before. Ctrl-C mid-sweep is
+// safe: completed points are on disk and the next run resumes.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"gpuwalk"
 )
 
 func main() {
-	const workload = "GEV"
+	var (
+		workload = flag.String("workload", "GEV", "benchmark abbreviation")
+		cacheDir = flag.String("cache", ".sensitivity-cache", "result cache directory (empty disables caching)")
+	)
+	flag.Parse()
 
-	fmt.Println("workload:", workload)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var cache *gpuwalk.ResultCache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = gpuwalk.OpenResultCache(*cacheDir, 0); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			st := cache.Stats()
+			fmt.Printf("\ncache %s: %d hits, %d misses, %d new results stored\n",
+				*cacheDir, st.Hits, st.Misses, st.Puts)
+			cache.Close()
+		}()
+	}
+
+	fmt.Println("workload:", *workload)
 	fmt.Println("\nL2 TLB entries sweep (8 walkers, 256-entry buffer):")
 	for _, entries := range []int{256, 512, 1024, 2048} {
 		cfg := gpuwalk.DefaultConfig()
-		cfg.Workload = workload
+		cfg.Workload = *workload
 		cfg.GPU.L2TLBEntries = entries
-		report(fmt.Sprintf("%5d entries", entries), cfg)
+		report(ctx, cache, fmt.Sprintf("%5d entries", entries), cfg)
 	}
 
 	fmt.Println("\npage table walker sweep (512-entry L2 TLB):")
 	for _, walkers := range []int{4, 8, 16, 32} {
 		cfg := gpuwalk.DefaultConfig()
-		cfg.Workload = workload
+		cfg.Workload = *workload
 		cfg.IOMMU.Walkers = walkers
-		report(fmt.Sprintf("%5d walkers", walkers), cfg)
+		report(ctx, cache, fmt.Sprintf("%5d walkers", walkers), cfg)
 	}
 
 	fmt.Println("\nIOMMU buffer sweep (scheduler lookahead):")
 	for _, buf := range []int{64, 128, 256, 512} {
 		cfg := gpuwalk.DefaultConfig()
-		cfg.Workload = workload
+		cfg.Workload = *workload
 		cfg.IOMMU.BufferEntries = buf
-		report(fmt.Sprintf("%5d buffer", buf), cfg)
+		report(ctx, cache, fmt.Sprintf("%5d buffer", buf), cfg)
 	}
 }
 
-func report(label string, cfg gpuwalk.Config) {
-	base, test, speedup, err := gpuwalk.Compare(cfg, gpuwalk.FCFS, gpuwalk.SIMTAware)
-	if err != nil {
-		log.Fatal(err)
+// report simulates cfg under both schedulers through the cache and
+// prints the comparison.
+func report(ctx context.Context, cache *gpuwalk.ResultCache, label string, cfg gpuwalk.Config) {
+	runOne := func(kind gpuwalk.SchedulerKind) gpuwalk.Result {
+		cfg.Scheduler = kind
+		res, _, err := gpuwalk.RunCached(ctx, cache, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
 	}
+	base := runOne(gpuwalk.FCFS)
+	test := runOne(gpuwalk.SIMTAware)
+	speedup := float64(base.Cycles) / float64(test.Cycles)
 	fmt.Printf("  %s: fcfs %9d cy, simt-aware %9d cy, speedup %.3fx\n",
 		label, base.Cycles, test.Cycles, speedup)
 }

@@ -27,6 +27,7 @@
 package gpuwalk
 
 import (
+	"context"
 	"fmt"
 
 	"gpuwalk/internal/core"
@@ -200,16 +201,29 @@ func Generate(cfg Config) (*Trace, error) {
 
 // Run generates the configured workload and simulates it to completion.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the
+// simulation engine aborts promptly (within a few thousand events) and
+// RunContext returns ctx's error instead of a Result. This is what
+// makes a cancelled gpuwalkd HTTP request actually stop its simulation.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	tr, err := Generate(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return RunTrace(cfg, tr)
+	return RunTraceContext(ctx, cfg, tr)
 }
 
 // RunTrace simulates a pre-built trace under cfg (ignoring cfg.Workload
 // and cfg.Gen). Use it to replay saved traces or hand-built ones.
 func RunTrace(cfg Config, tr *Trace) (Result, error) {
+	return RunTraceContext(context.Background(), cfg, tr)
+}
+
+// RunTraceContext is RunTrace with cancellation (see RunContext).
+func RunTraceContext(ctx context.Context, cfg Config, tr *Trace) (Result, error) {
 	sys, err := gpu.NewSystem(gpu.Params{
 		GPU:              cfg.GPU,
 		DRAM:             cfg.DRAM,
@@ -227,7 +241,7 @@ func RunTrace(cfg Config, tr *Trace) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return sys.Run()
+	return sys.RunContext(ctx)
 }
 
 // Speedup returns how much faster b is than a (a.Cycles / b.Cycles).

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -322,8 +323,24 @@ func (s *System) dumpState() string {
 	return b.String()
 }
 
+// ModelVersion names the simulation model's behavior generation. It is
+// part of every persistent result-cache key (internal/simcache), so it
+// MUST be bumped whenever a change alters any simulation output for the
+// same configuration — otherwise stale cached results would be served
+// as current ones. Pure refactors that keep runs byte-identical do not
+// bump it.
+const ModelVersion = "gpuwalk-model-v4"
+
 // Run executes the workload to completion and returns the results.
 func (s *System) Run() (Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the engine
+// aborts within a few thousand events and RunContext returns ctx's
+// error. The partial simulation state is discarded — a cancelled run
+// produces no Result.
+func (s *System) RunContext(ctx context.Context) (Result, error) {
 	for _, c := range s.cus {
 		c.start()
 	}
@@ -347,7 +364,16 @@ func (s *System) Run() (Result, error) {
 			},
 		})
 	}
-	s.eng.Run()
+	if ctx.Done() == nil {
+		// Background and TODO contexts can never be cancelled; skip the
+		// interrupt polling entirely so batch runs pay nothing.
+		s.eng.Run()
+	} else {
+		s.eng.RunWithInterrupt(0, func() bool { return ctx.Err() != nil })
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("gpu: simulation cancelled at cycle %d: %w", s.eng.Now(), err)
+	}
 	if s.stallErr != nil {
 		return Result{}, s.stallErr
 	}

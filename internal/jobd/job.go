@@ -1,0 +1,167 @@
+// Package jobd is a small job service for batch simulation: a bounded
+// priority queue feeding a context-aware worker pool, fronted by an
+// HTTP JSON API with per-job server-sent event streams.
+//
+// jobd knows nothing about simulations. Work arrives as opaque JSON
+// specs and is executed by an injected Runner; cmd/gpuwalkd wires the
+// runner to gpuwalk.RunCached so identical specs short-circuit into
+// the persistent result cache.
+package jobd
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. Terminal states are done, failed and cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Item is one unit of work within a job: a single spec for a plain
+// submission, one point of the grid for a sweep.
+type Item struct {
+	// Spec is the opaque payload handed to the Runner.
+	Spec json.RawMessage `json:"spec"`
+	// Result is the Runner's output once the item has run.
+	Result json.RawMessage `json:"result,omitempty"`
+	// CacheHit reports whether the Runner served this item from its
+	// result cache rather than computing it.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Error is the Runner's error text, if the item failed.
+	Error string `json:"error,omitempty"`
+	// Done reports whether the item has finished (successfully or not).
+	Done bool `json:"done"`
+}
+
+// Event is one entry in a job's event log. Events are totally ordered
+// per job by Seq; the SSE endpoint replays the log from the start and
+// then streams new entries as they are appended.
+type Event struct {
+	Seq  int             `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Event types appended over a job's life.
+const (
+	EventQueued    = "queued"    // job admitted to the queue
+	EventStarted   = "started"   // a worker picked the job up
+	EventItemDone  = "item_done" // one item finished; data = {index, cache_hit, error?}
+	EventDone      = "done"      // terminal: all items succeeded
+	EventFailed    = "failed"    // terminal: at least one item failed
+	EventCancelled = "cancelled" // terminal: drain or timeout cancelled the job
+)
+
+// job is the server-side record. All fields are guarded by the
+// server's mutex; the exported snapshot type below is what handlers
+// marshal.
+type job struct {
+	id       string
+	priority int
+	timeout  time.Duration
+	seq      uint64 // admission order, tie-break within a priority
+	state    State
+	err      string
+	items    []Item
+	events   []Event
+	// waiters are signal channels for SSE streams blocked on new
+	// events; each is closed (once) when an event is appended or the
+	// job reaches a terminal state.
+	waiters map[chan struct{}]struct{}
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// JobView is the wire representation of a job.
+type JobView struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Priority int    `json:"priority"`
+	Error    string `json:"error,omitempty"`
+	Items    []Item `json:"items"`
+	// ItemsDone counts finished items, for cheap progress polling.
+	ItemsDone int `json:"items_done"`
+	// CacheHits counts items served from the result cache.
+	CacheHits int `json:"cache_hits"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// view snapshots the job for marshalling. Caller holds the server lock.
+func (j *job) view() JobView {
+	v := JobView{
+		ID:       j.id,
+		State:    j.state,
+		Priority: j.priority,
+		Error:    j.err,
+		Items:    append([]Item(nil), j.items...),
+		Created:  j.created,
+	}
+	for _, it := range j.items {
+		if it.Done {
+			v.ItemsDone++
+		}
+		if it.CacheHit {
+			v.CacheHits++
+		}
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// appendEvent logs an event and wakes any blocked SSE streams.
+// Caller holds the server lock.
+func (j *job) appendEvent(typ string, data any) {
+	ev := Event{Seq: len(j.events), Type: typ}
+	if data != nil {
+		if b, err := json.Marshal(data); err == nil {
+			ev.Data = b
+		}
+	}
+	j.events = append(j.events, ev)
+	for ch := range j.waiters {
+		close(ch)
+		delete(j.waiters, ch)
+	}
+}
+
+// subscribe returns a channel closed at the next event append.
+// Caller holds the server lock.
+func (j *job) subscribe() chan struct{} {
+	ch := make(chan struct{})
+	if j.waiters == nil {
+		j.waiters = make(map[chan struct{}]struct{})
+	}
+	j.waiters[ch] = struct{}{}
+	return ch
+}
+
+// unsubscribe drops a waiter that is no longer listening.
+// Caller holds the server lock.
+func (j *job) unsubscribe(ch chan struct{}) {
+	delete(j.waiters, ch)
+}

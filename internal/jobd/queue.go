@@ -1,0 +1,60 @@
+package jobd
+
+import "container/heap"
+
+// jobQueue is a bounded max-priority queue of admitted jobs. Higher
+// Priority pops first; within a priority, admission order (seq) wins,
+// so equal-priority jobs are FIFO. The queue holds only jobs waiting
+// for a worker — running jobs are not counted against the bound.
+//
+// Not goroutine-safe; the server's mutex guards it.
+type jobQueue struct {
+	jobs []*job
+	max  int
+}
+
+func newJobQueue(max int) *jobQueue {
+	return &jobQueue{max: max}
+}
+
+// Len reports the number of queued jobs.
+func (q *jobQueue) Len() int { return len(q.jobs) }
+
+// Full reports whether admitting another job would exceed the bound.
+func (q *jobQueue) Full() bool { return q.max > 0 && len(q.jobs) >= q.max }
+
+// push admits a job. The caller must have checked Full.
+func (q *jobQueue) push(j *job) { heap.Push((*jobHeap)(q), j) }
+
+// pop removes and returns the highest-priority job, nil when empty.
+func (q *jobQueue) pop() *job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return heap.Pop((*jobHeap)(q)).(*job)
+}
+
+// jobHeap adapts jobQueue to container/heap.
+type jobHeap jobQueue
+
+func (h *jobHeap) Len() int { return len(h.jobs) }
+
+func (h *jobHeap) Less(i, k int) bool {
+	a, b := h.jobs[i], h.jobs[k]
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (h *jobHeap) Swap(i, k int) { h.jobs[i], h.jobs[k] = h.jobs[k], h.jobs[i] }
+
+func (h *jobHeap) Push(x any) { h.jobs = append(h.jobs, x.(*job)) }
+
+func (h *jobHeap) Pop() any {
+	n := len(h.jobs)
+	j := h.jobs[n-1]
+	h.jobs[n-1] = nil
+	h.jobs = h.jobs[:n-1]
+	return j
+}

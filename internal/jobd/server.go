@@ -1,0 +1,524 @@
+package jobd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"gpuwalk/internal/obs"
+)
+
+// Runner executes one job item. It receives the item's opaque spec and
+// returns the result payload plus whether it came from a result cache.
+// The context carries the job's deadline and the server's lifetime;
+// runners must return promptly once it is cancelled.
+type Runner func(ctx context.Context, spec json.RawMessage) (result json.RawMessage, cacheHit bool, err error)
+
+// Options configures a Server.
+type Options struct {
+	// Runner executes job items. Required.
+	Runner Runner
+	// Workers is the worker pool width. Defaults to 1.
+	Workers int
+	// QueueSize bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected. Defaults to 64. Negative
+	// means unbounded.
+	QueueSize int
+	// DefaultTimeout applies to jobs that do not set their own.
+	// Zero means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps per-job timeouts (and applies when a job asks
+	// for no deadline). Zero means uncapped.
+	MaxTimeout time.Duration
+}
+
+// Errors surfaced by Submit, mapped to HTTP statuses by the handler.
+var (
+	ErrDraining  = errors.New("jobd: server is draining, not accepting jobs")
+	ErrQueueFull = errors.New("jobd: job queue is full")
+)
+
+// Server owns the queue, the worker pool and the job table.
+type Server struct {
+	opts Options
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // job IDs in admission order, for listing
+	queue    *jobQueue
+	cond     *sync.Cond
+	nextSeq  uint64
+	draining bool
+
+	// baseCtx parents every job context; cancelBase aborts in-flight
+	// work when a drain deadline expires or the server is closed.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	workers    sync.WaitGroup
+
+	// running tracks the cancel funcs of in-flight jobs so an expired
+	// drain can abort them.
+	running map[string]context.CancelFunc
+
+	reg        *obs.Registry
+	mSubmitted *obs.Counter
+	mRejected  *obs.Counter
+	mDone      *obs.Counter
+	mFailed    *obs.Counter
+	mCancelled *obs.Counter
+	mCacheHits *obs.Counter
+	mItemsRun  *obs.Counter
+	gQueued    *obs.Gauge
+	gRunning   *obs.Gauge
+}
+
+// NewServer builds a server and starts its worker pool.
+func NewServer(opts Options) (*Server, error) {
+	if opts.Runner == nil {
+		return nil, errors.New("jobd: Options.Runner is required")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.QueueSize == 0 {
+		opts.QueueSize = 64
+	}
+	if opts.QueueSize < 0 {
+		opts.QueueSize = 0 // jobQueue treats 0 as unbounded
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		jobs:       make(map[string]*job),
+		queue:      newJobQueue(opts.QueueSize),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		running:    make(map[string]context.CancelFunc),
+		reg:        obs.NewRegistry(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mSubmitted = s.reg.Counter("jobs.submitted")
+	s.mRejected = s.reg.Counter("jobs.rejected")
+	s.mDone = s.reg.Counter("jobs.done")
+	s.mFailed = s.reg.Counter("jobs.failed")
+	s.mCancelled = s.reg.Counter("jobs.cancelled")
+	s.mCacheHits = s.reg.Counter("items.cache_hits")
+	s.mItemsRun = s.reg.Counter("items.run")
+	s.gQueued = s.reg.Gauge("jobs.queued")
+	s.gRunning = s.reg.Gauge("jobs.running")
+	for i := 0; i < opts.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// SubmitRequest is the POST /v1/jobs body. Exactly one of Spec and
+// Specs must be set: Spec submits a single-item job, Specs a sweep.
+type SubmitRequest struct {
+	Spec     json.RawMessage   `json:"spec,omitempty"`
+	Specs    []json.RawMessage `json:"specs,omitempty"`
+	Priority int               `json:"priority,omitempty"`
+	// Timeout is a Go duration string ("30s", "5m"); empty uses the
+	// server default.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// Submit validates and admits a job, returning its queued view.
+func (s *Server) Submit(req SubmitRequest) (JobView, error) {
+	var specs []json.RawMessage
+	switch {
+	case req.Spec != nil && len(req.Specs) > 0:
+		return JobView{}, errors.New("jobd: set spec or specs, not both")
+	case req.Spec != nil:
+		specs = []json.RawMessage{req.Spec}
+	case len(req.Specs) > 0:
+		specs = req.Specs
+	default:
+		return JobView{}, errors.New("jobd: empty submission: set spec or specs")
+	}
+	timeout := s.opts.DefaultTimeout
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil || d <= 0 {
+			return JobView{}, fmt.Errorf("jobd: bad timeout %q", req.Timeout)
+		}
+		timeout = d
+	}
+	if max := s.opts.MaxTimeout; max > 0 && (timeout == 0 || timeout > max) {
+		timeout = max
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.mRejected.Inc()
+		return JobView{}, ErrDraining
+	}
+	if s.queue.Full() {
+		s.mRejected.Inc()
+		return JobView{}, ErrQueueFull
+	}
+	s.nextSeq++
+	j := &job{
+		id:       fmt.Sprintf("j%06d", s.nextSeq),
+		priority: req.Priority,
+		timeout:  timeout,
+		seq:      s.nextSeq,
+		state:    StateQueued,
+		items:    make([]Item, len(specs)),
+		created:  time.Now(),
+	}
+	for i, sp := range specs {
+		j.items[i].Spec = sp
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.queue.push(j)
+	j.appendEvent(EventQueued, map[string]any{"items": len(specs)})
+	s.mSubmitted.Inc()
+	s.gQueued.Set(int64(s.queue.Len()))
+	s.cond.Signal()
+	return j.view(), nil
+}
+
+// Job returns a snapshot of one job.
+func (s *Server) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// Jobs returns snapshots of every job in admission order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// worker pops jobs until the queue is empty and the server is
+// draining or closed.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		j := s.queue.pop()
+		if j == nil { // draining with an empty queue: exit
+			s.mu.Unlock()
+			return
+		}
+		if j.state != StateQueued { // cancelled while queued
+			s.gQueued.Set(int64(s.queue.Len()))
+			s.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = time.Now()
+		var ctx context.Context
+		var cancel context.CancelFunc
+		if j.timeout > 0 {
+			ctx, cancel = context.WithTimeout(s.baseCtx, j.timeout)
+		} else {
+			ctx, cancel = context.WithCancel(s.baseCtx)
+		}
+		s.running[j.id] = cancel
+		j.appendEvent(EventStarted, nil)
+		s.gQueued.Set(int64(s.queue.Len()))
+		s.gRunning.Set(int64(len(s.running)))
+		s.mu.Unlock()
+
+		s.runJob(ctx, j)
+		cancel()
+
+		s.mu.Lock()
+		delete(s.running, j.id)
+		s.gRunning.Set(int64(len(s.running)))
+		s.mu.Unlock()
+	}
+}
+
+// runJob executes every item of j under ctx and moves j to a terminal
+// state. Items after a context cancellation are left unrun.
+func (s *Server) runJob(ctx context.Context, j *job) {
+	for i := range j.items {
+		if ctx.Err() != nil {
+			break
+		}
+		s.mu.Lock()
+		spec := j.items[i].Spec
+		s.mu.Unlock()
+
+		result, hit, err := s.opts.Runner(ctx, spec)
+
+		s.mu.Lock()
+		if ctx.Err() != nil {
+			// The runner was interrupted; whatever it returned is a
+			// partial result. Leave the item unrun and cancel the job.
+			s.mu.Unlock()
+			break
+		}
+		it := &j.items[i]
+		it.Done = true
+		s.mItemsRun.Inc()
+		if err != nil {
+			it.Error = err.Error()
+		} else {
+			it.Result = result
+			it.CacheHit = hit
+			if hit {
+				s.mCacheHits.Inc()
+			}
+		}
+		j.appendEvent(EventItemDone, map[string]any{
+			"index":     i,
+			"cache_hit": hit,
+			"error":     it.Error,
+		})
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	if err := ctx.Err(); err != nil {
+		j.state = StateCancelled
+		j.err = fmt.Sprintf("job cancelled: %v", err)
+		j.appendEvent(EventCancelled, map[string]any{"reason": err.Error()})
+		s.mCancelled.Inc()
+		return
+	}
+	failed := 0
+	for i := range j.items {
+		if j.items[i].Error != "" {
+			failed++
+		}
+	}
+	if failed > 0 {
+		j.state = StateFailed
+		j.err = fmt.Sprintf("%d of %d items failed", failed, len(j.items))
+		j.appendEvent(EventFailed, map[string]any{"failed": failed})
+		s.mFailed.Inc()
+		return
+	}
+	j.state = StateDone
+	j.appendEvent(EventDone, nil)
+	s.mDone.Inc()
+}
+
+// Drain gracefully shuts the server down: new submissions are
+// rejected, queued jobs are cancelled, in-flight jobs run to
+// completion. If ctx expires first, in-flight jobs are aborted via
+// their contexts and Drain returns ctx's error once the pool exits.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for {
+			j := s.queue.pop()
+			if j == nil {
+				break
+			}
+			j.state = StateCancelled
+			j.err = "job cancelled: server draining"
+			j.finished = time.Now()
+			j.appendEvent(EventCancelled, map[string]any{"reason": "server draining"})
+			s.mCancelled.Inc()
+		}
+		s.gQueued.Set(0)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelBase() // abort in-flight jobs
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-stops the server: drain with an already-expired
+// deadline, so in-flight jobs are aborted immediately.
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(ctx)
+}
+
+// Draining reports whether the server has stopped accepting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs             submit a job (SubmitRequest body)
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        one job
+//	GET  /v1/jobs/{id}/events server-sent event stream
+//	GET  /healthz             "ok" (200) or "draining" (503)
+//	GET  /metrics             plain-text metric exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	v, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, v)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleEvents streams a job's event log as server-sent events: the
+// log so far is replayed immediately, then new events are pushed as
+// they are appended, until the job reaches a terminal state or the
+// client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	next := 0
+	for {
+		s.mu.Lock()
+		events := j.events[next:]
+		next = len(j.events)
+		terminal := j.state.Terminal()
+		var wake chan struct{}
+		if len(events) == 0 && !terminal {
+			wake = j.subscribe()
+		}
+		s.mu.Unlock()
+
+		for _, ev := range events {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, b); err != nil {
+				return
+			}
+		}
+		if canFlush {
+			fl.Flush()
+		}
+		if terminal && len(events) == 0 {
+			return
+		}
+		if wake == nil {
+			continue
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			s.mu.Lock()
+			j.unsubscribe(wake)
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics writes one "name value" line per metric. The obs
+// registry is not goroutine-safe, so the snapshot is taken under the
+// server lock that also guards every metric update.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names, vals := s.reg.Snapshot()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for i, n := range names {
+		fmt.Fprintf(w, "%s %s\n", n, strconv.FormatFloat(vals[i], 'g', -1, 64))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

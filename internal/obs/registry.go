@@ -100,6 +100,23 @@ func (r *Registry) Sample(cycle uint64) {
 	r.rows = append(r.rows, sampleRow{cycle: cycle, vals: vals})
 }
 
+// Snapshot evaluates every registered column right now and returns
+// (name, value) pairs in registration order, without recording a row or
+// sealing the registry. It backs live exposition endpoints (the jobd
+// /metrics handler) where sampling into the CSV time series would be
+// wrong. Callers coordinating concurrent metric writers must serialize
+// Snapshot against them; the Registry itself is not goroutine-safe.
+func (r *Registry) Snapshot() ([]string, []float64) {
+	if r == nil {
+		return nil, nil
+	}
+	vals := make([]float64, len(r.fns))
+	for i, fn := range r.fns {
+		vals[i] = fn()
+	}
+	return append([]string(nil), r.names...), vals
+}
+
 // Rows returns the number of sampled rows.
 func (r *Registry) Rows() int {
 	if r == nil {

@@ -145,6 +145,34 @@ func (e *Engine) Run() Cycle {
 	return e.now
 }
 
+// DefaultInterruptStride is how many events RunWithInterrupt executes
+// between interrupt checks when the caller passes 0. Checking a context
+// is cheap but not free; at this stride the overhead is unmeasurable
+// while cancellation latency stays well under a millisecond of wall
+// time.
+const DefaultInterruptStride = 8192
+
+// RunWithInterrupt executes events like Run, but polls interrupted
+// every stride dispatched events; when it reports true the engine is
+// aborted (remaining events stay queued) and RunWithInterrupt returns.
+// It is how a cancelled context actually stops a simulation: the
+// caller passes func() bool { return ctx.Err() != nil }.
+func (e *Engine) RunWithInterrupt(stride uint64, interrupted func() bool) Cycle {
+	if stride == 0 {
+		stride = DefaultInterruptStride
+	}
+	for {
+		if e.RunFor(stride) < stride {
+			// Queue drained (or a previous interrupt aborted us).
+			return e.now
+		}
+		if interrupted() {
+			e.Abort()
+			return e.now
+		}
+	}
+}
+
 // RunUntil executes events with cycle <= limit. It returns true if the
 // queue drained, false if stopped at the limit with events pending.
 // The clock never passes limit.

@@ -1,0 +1,289 @@
+package simcache
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T, dir string, opts Options) *Cache {
+	t.Helper()
+	c, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return c
+}
+
+func mustKey(t *testing.T, parts ...any) string {
+	t.Helper()
+	k, err := Key(parts...)
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	return k
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := open(t, t.TempDir(), Options{})
+	key := mustKey(t, "config", 1)
+	payload := []byte(`{"cycles":12345}`)
+	if err := c.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := c.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mismatch: %q != %q", got, payload)
+	}
+	if _, ok, _ := c.Get(mustKey(t, "config", 2)); ok {
+		t.Fatal("unexpected hit for absent key")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 put", st)
+	}
+}
+
+func TestPersistenceAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	key := mustKey(t, "persist")
+	c := open(t, dir, Options{})
+	if err := c.Put(key, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := open(t, dir, Options{})
+	got, ok, err := c2.Get(key)
+	if err != nil || !ok || string(got) != "hello" {
+		t.Fatalf("reopened Get = %q, %v, %v", got, ok, err)
+	}
+}
+
+func TestCorruptPayloadIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{})
+	key := mustKey(t, "x")
+	if err := c.Put(key, []byte("payload-v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes behind the cache's back.
+	path := c.objectPath(key)
+	if err := os.WriteFile(path, []byte("tampered!!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(key); ok || err != nil {
+		t.Fatalf("tampered Get = ok=%v err=%v, want miss", ok, err)
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", st.Corrupt)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt object not removed: %v", err)
+	}
+}
+
+func TestIndexRebuildFromObjects(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{})
+	key := mustKey(t, "rebuild")
+	if err := c.Put(key, []byte("still-here")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash that lost the index but kept the object.
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	c2 := open(t, dir, Options{})
+	got, ok, err := c2.Get(key)
+	if err != nil || !ok || string(got) != "still-here" {
+		t.Fatalf("rebuilt Get = %q, %v, %v", got, ok, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Each payload is 10 bytes; cap at 25 keeps two entries.
+	c := open(t, dir, Options{MaxBytes: 25})
+	keys := make([]string, 3)
+	for i := range keys {
+		keys[i] = mustKey(t, "entry", i)
+		if err := c.Put(keys[i], []byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Entry 0 is the least recently used and must be gone.
+	if _, ok, _ := c.Get(keys[0]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	for _, k := range keys[1:] {
+		if _, ok, _ := c.Get(k); !ok {
+			t.Fatalf("recent entry %s evicted", k[:8])
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+	// A Get refreshes LRU position: touch entry 1, put entry 3, entry 2
+	// must be the victim.
+	if _, ok, _ := c.Get(keys[1]); !ok {
+		t.Fatal("entry 1 missing")
+	}
+	k3 := mustKey(t, "entry", 3)
+	if err := c.Put(k3, []byte("payload-03")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get(keys[2]); ok {
+		t.Fatal("entry 2 should have been evicted after entry 1 was touched")
+	}
+	if _, ok, _ := c.Get(keys[1]); !ok {
+		t.Fatal("touched entry 1 evicted")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	c := open(t, t.TempDir(), Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := mustKey(t, "conc", g, i)
+				payload := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				if err := c.Put(key, payload); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				got, ok, err := c.Get(key)
+				if err != nil || !ok || string(got) != string(payload) {
+					t.Errorf("Get after Put = %q, %v, %v", got, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestGetJSONPutJSON(t *testing.T) {
+	c := open(t, t.TempDir(), Options{})
+	type rec struct {
+		Name   string
+		Cycles uint64
+	}
+	key := mustKey(t, "json")
+	want := rec{Name: "MVT", Cycles: 42}
+	if _, err := c.PutJSON(key, want); err != nil {
+		t.Fatal(err)
+	}
+	var got rec
+	ok, err := c.GetJSON(key, &got)
+	if err != nil || !ok || got != want {
+		t.Fatalf("GetJSON = %+v, %v, %v", got, ok, err)
+	}
+}
+
+// TestKillMidWrite SIGKILLs a child process in the middle of writing a
+// large cache entry and verifies the store is uncorrupted: the key is a
+// clean miss (no partial object is ever visible) and previously stored
+// entries still verify. This is the crash-safety contract atomic
+// temp-file-plus-rename writes exist to provide.
+func TestKillMidWrite(t *testing.T) {
+	if os.Getenv("SIMCACHE_CRASH_HELPER") == "1" {
+		crashHelperMain()
+		return
+	}
+	dir := t.TempDir()
+	// Seed one good entry the crash must not damage.
+	c := open(t, dir, Options{})
+	goodKey := mustKey(t, "survivor")
+	if err := c.Put(goodKey, []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("no executable path: %v", err)
+	}
+	cmd := exec.Command(exe, "-test.run", "TestKillMidWrite")
+	cmd.Env = append(os.Environ(), "SIMCACHE_CRASH_HELPER=1", "SIMCACHE_CRASH_DIR="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting helper: %v", err)
+	}
+	// Wait for the helper's in-flight temp file to appear, then kill it
+	// mid-write.
+	objects := filepath.Join(dir, "objects")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("helper never started writing")
+		}
+		if hasTempFile(objects) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	// Reopen: atomicity means all-or-nothing. The victim key is either
+	// a clean miss or a complete, digest-verified 64 MB payload — a
+	// partial object must never be served.
+	c2 := open(t, dir, Options{})
+	victimKey := mustKey(t, "victim")
+	if payload, ok, err := c2.Get(victimKey); err != nil {
+		t.Fatalf("Get after kill: %v", err)
+	} else if ok && len(payload) != 64<<20 {
+		t.Fatalf("partial object served: %d bytes", len(payload))
+	}
+	got, ok, err := c2.Get(goodKey)
+	if err != nil || !ok || string(got) != "intact" {
+		t.Fatalf("survivor entry damaged: %q, %v, %v", got, ok, err)
+	}
+}
+
+// crashHelperMain runs in the child: it writes an entry slowly enough
+// that the parent can kill it mid-stream. The payload is large and the
+// writes unbuffered so the temp file exists for a long window.
+func crashHelperMain() {
+	dir := os.Getenv("SIMCACHE_CRASH_DIR")
+	c, err := Open(dir, Options{})
+	if err != nil {
+		os.Exit(1)
+	}
+	key, err := Key("victim")
+	if err != nil {
+		os.Exit(1)
+	}
+	chunk := strings.Repeat("x", 1<<16)
+	var b strings.Builder
+	for i := 0; i < 1024; i++ {
+		b.WriteString(chunk) // 64 MB total: plenty of time to be killed
+	}
+	c.Put(key, []byte(b.String()))
+	os.Exit(0)
+}
+
+func hasTempFile(root string) bool {
+	found := false
+	filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err == nil && info != nil && !info.IsDir() && strings.Contains(filepath.Base(path), ".tmp") {
+			found = true
+		}
+		return nil
+	})
+	return found
+}

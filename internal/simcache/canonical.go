@@ -1,0 +1,127 @@
+// Package simcache is a persistent content-addressed store for
+// simulation results. Keys are SHA-256 digests of canonicalized inputs
+// (configuration, workload spec, seed, simulator version), values are
+// opaque payloads (in practice the JSON encoding of a gpu.Result).
+//
+// The store is durable and crash-safe: every write goes through
+// internal/atomicio (temp file + rename), every read verifies the
+// payload's digest before returning it, and a corrupted or truncated
+// entry is treated as a miss and dropped. An index file tracks entry
+// sizes and last-use order so the store can enforce an LRU byte cap.
+//
+// See docs/SERVER.md for the on-disk layout and the services built on
+// top of it (cmd/gpuwalkd, cmd/paperfigs -resume).
+package simcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Canonical returns a canonical JSON encoding of v: object keys sorted,
+// no insignificant whitespace, numbers preserved digit-for-digit. Two
+// values whose JSON encodings differ only in object key order or
+// formatting canonicalize to identical bytes, which is what makes the
+// encoding safe to hash.
+func Canonical(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("simcache: marshal: %w", err)
+	}
+	return CanonicalJSON(raw)
+}
+
+// CanonicalJSON canonicalizes an existing JSON document (see Canonical).
+func CanonicalJSON(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber() // keep numbers textual: no float round-trip drift
+	var doc any
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("simcache: parse: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, doc); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeCanonical(buf *bytes.Buffer, v any) error {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			buf.Write(kb)
+			buf.WriteByte(':')
+			if err := writeCanonical(buf, t[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+		return nil
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeCanonical(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+		return nil
+	case json.Number:
+		buf.WriteString(t.String())
+		return nil
+	default:
+		b, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+		return nil
+	}
+}
+
+// Key derives a content-address from the canonical encodings of parts.
+// Each part is length-prefixed before hashing so no two distinct part
+// sequences can collide by concatenation ("ab","c" vs "a","bc").
+func Key(parts ...any) (string, error) {
+	h := sha256.New()
+	var lenbuf [8]byte
+	for _, p := range parts {
+		c, err := Canonical(p)
+		if err != nil {
+			return "", err
+		}
+		binary.BigEndian.PutUint64(lenbuf[:], uint64(len(c)))
+		h.Write(lenbuf[:])
+		h.Write(c)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// PayloadDigest returns the hex SHA-256 of a stored payload; it is the
+// integrity check recorded in the index and verified on every Get.
+func PayloadDigest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,93 @@
+package simcache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalJSONKeyOrder(t *testing.T) {
+	a, err := CanonicalJSON([]byte(`{"b": 2, "a": 1, "nested": {"y": [1, 2], "x": null}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalJSON([]byte(`{"nested":{"x":null,"y":[1,2]},"a":1,"b":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("canonical forms differ:\n%s\n%s", a, b)
+	}
+	want := `{"a":1,"b":2,"nested":{"x":null,"y":[1,2]}}`
+	if string(a) != want {
+		t.Fatalf("canonical = %s, want %s", a, want)
+	}
+}
+
+func TestCanonicalPreservesNumberText(t *testing.T) {
+	// 0.1 must not become 0.10000000000000000555... and large uint64s
+	// must not lose precision through float64.
+	got, err := CanonicalJSON([]byte(`{"f":0.125,"u":18446744073709551615}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "18446744073709551615") {
+		t.Fatalf("uint64 mangled: %s", got)
+	}
+	if !strings.Contains(string(got), "0.125") {
+		t.Fatalf("float mangled: %s", got)
+	}
+}
+
+func TestKeyIsOrderAndLengthSensitive(t *testing.T) {
+	k1 := mustKey(t, "ab", "c")
+	k2 := mustKey(t, "a", "bc")
+	if k1 == k2 {
+		t.Fatal("length-prefixing failed: concatenation collision")
+	}
+	k3 := mustKey(t, "c", "ab")
+	if k1 == k3 {
+		t.Fatal("part order ignored")
+	}
+	if k1 != mustKey(t, "ab", "c") {
+		t.Fatal("Key is not deterministic")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(k1))
+	}
+}
+
+func TestKeyStructEquivalence(t *testing.T) {
+	type cfg struct {
+		Walkers int
+		Entries int
+	}
+	// Identical values hash identically regardless of how they were
+	// produced; different values differ.
+	if mustKey(t, cfg{Walkers: 8, Entries: 512}) != mustKey(t, cfg{Entries: 512, Walkers: 8}) {
+		t.Fatal("struct literal field order changed the hash")
+	}
+	if mustKey(t, cfg{Walkers: 8}) == mustKey(t, cfg{Walkers: 16}) {
+		t.Fatal("semantic change did not change the hash")
+	}
+}
+
+func FuzzCanonicalJSON(f *testing.F) {
+	f.Add([]byte(`{"a":1}`))
+	f.Add([]byte(`[1,2,{"x":null}]`))
+	f.Add([]byte(`"str"`))
+	f.Add([]byte(`0.1`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		c1, err := CanonicalJSON(raw)
+		if err != nil {
+			return // not valid JSON: fine
+		}
+		// Canonicalization must be a fixed point.
+		c2, err := CanonicalJSON(c1)
+		if err != nil {
+			t.Fatalf("canonical output unparseable: %v\n%s", err, c1)
+		}
+		if string(c1) != string(c2) {
+			t.Fatalf("not idempotent:\n%s\n%s", c1, c2)
+		}
+	})
+}

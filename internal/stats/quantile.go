@@ -2,6 +2,7 @@ package stats
 
 import (
 	"encoding/json"
+	"fmt"
 	"sort"
 )
 
@@ -64,16 +65,44 @@ func (q *Quantile) Min() uint64 { return q.min }
 // Max returns the largest observed sample.
 func (q *Quantile) Max() uint64 { return q.max }
 
-// MarshalJSON emits the summary quantiles.
+// MarshalJSON emits the summary quantiles plus the raw bucket counts.
+// The counts (against the package-wide deterministic bucket bounds) are
+// what UnmarshalJSON needs to restore the estimator exactly; the
+// P50/P95/P99 fields are derived and kept for readability.
 func (q Quantile) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
-		N   uint64 `json:"n"`
-		Min uint64 `json:"min"`
-		P50 uint64 `json:"p50"`
-		P95 uint64 `json:"p95"`
-		P99 uint64 `json:"p99"`
-		Max uint64 `json:"max"`
-	}{q.total, q.min, q.Value(0.5), q.Value(0.95), q.Value(0.99), q.max})
+		N      uint64   `json:"n"`
+		Min    uint64   `json:"min"`
+		P50    uint64   `json:"p50"`
+		P95    uint64   `json:"p95"`
+		P99    uint64   `json:"p99"`
+		Max    uint64   `json:"max"`
+		Counts []uint64 `json:"counts,omitempty"`
+	}{q.total, q.min, q.Value(0.5), q.Value(0.95), q.Value(0.99), q.max, q.counts})
+}
+
+// UnmarshalJSON restores a Quantile written by MarshalJSON. The bucket
+// bounds are a package constant, so only the counts travel; a payload
+// whose counts do not match the current bucketization is rejected
+// rather than silently misread.
+func (q *Quantile) UnmarshalJSON(b []byte) error {
+	var in struct {
+		N      uint64   `json:"n"`
+		Min    uint64   `json:"min"`
+		Max    uint64   `json:"max"`
+		Counts []uint64 `json:"counts"`
+	}
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	if in.Counts != nil && len(in.Counts) != len(bucketBounds)+1 {
+		return fmt.Errorf("stats: quantile has %d buckets, this build uses %d", len(in.Counts), len(bucketBounds)+1)
+	}
+	q.counts = in.Counts
+	q.total = in.N
+	q.min = in.Min
+	q.max = in.Max
+	return nil
 }
 
 // Value returns the approximate p-quantile (0 < p <= 1) as the upper

@@ -136,16 +136,36 @@ func (m *Mean) Value() float64 {
 	return m.sum / float64(m.n)
 }
 
-// MarshalJSON emits the sample count and mean (the fields are otherwise
-// unexported), so results embed cleanly in JSON reports.
+// MarshalJSON emits the sample count, raw sum and mean (the fields are
+// otherwise unexported), so results embed cleanly in JSON reports and
+// round-trip losslessly through UnmarshalJSON (the sum is the exact
+// accumulator; the mean is derived and included for readability).
 func (m Mean) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
 		N    uint64  `json:"n"`
+		Sum  float64 `json:"sum"`
 		Mean float64 `json:"mean"`
-	}{m.n, m.Value()})
+	}{m.n, m.sum, m.Value()})
 }
 
-// MarshalJSON emits bucket bounds, counts and summary statistics.
+// UnmarshalJSON restores a Mean written by MarshalJSON. Re-marshaling
+// the restored value reproduces the original bytes, which is what lets
+// cached simulation results stay byte-identical to fresh ones.
+func (m *Mean) UnmarshalJSON(b []byte) error {
+	var in struct {
+		N   uint64  `json:"n"`
+		Sum float64 `json:"sum"`
+	}
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	m.n, m.sum = in.N, in.Sum
+	return nil
+}
+
+// MarshalJSON emits bucket bounds, counts and summary statistics. The
+// raw sum is included so UnmarshalJSON can restore the histogram
+// exactly (the mean is derived and kept for readability).
 func (h *Histogram) MarshalJSON() ([]byte, error) {
 	bounds, counts, overflow := h.Buckets()
 	return json.Marshal(struct {
@@ -153,9 +173,35 @@ func (h *Histogram) MarshalJSON() ([]byte, error) {
 		Counts   []uint64 `json:"counts"`
 		Overflow uint64   `json:"overflow"`
 		Total    uint64   `json:"total"`
+		Sum      uint64   `json:"sum"`
 		Mean     float64  `json:"mean"`
 		Max      uint64   `json:"max"`
-	}{bounds, counts, overflow, h.Count(), h.Mean(), h.Max()})
+	}{bounds, counts, overflow, h.Count(), h.Sum(), h.Mean(), h.Max()})
+}
+
+// UnmarshalJSON restores a Histogram written by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var in struct {
+		Bounds   []uint64 `json:"bounds"`
+		Counts   []uint64 `json:"counts"`
+		Overflow uint64   `json:"overflow"`
+		Total    uint64   `json:"total"`
+		Sum      uint64   `json:"sum"`
+		Max      uint64   `json:"max"`
+	}
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	if len(in.Counts) != len(in.Bounds) {
+		return fmt.Errorf("stats: histogram has %d counts for %d bounds", len(in.Counts), len(in.Bounds))
+	}
+	h.bounds = in.Bounds
+	h.counts = in.Counts
+	h.overflow = in.Overflow
+	h.total = in.Total
+	h.sum = in.Sum
+	h.max = in.Max
+	return nil
 }
 
 // Ratio is a convenience hit/total pair.

@@ -1,0 +1,109 @@
+package gpuwalk_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"gpuwalk"
+)
+
+// tinyCachedConfig is a fast config for cache tests: small machine,
+// small footprint, still enough translation traffic to populate every
+// stat the Result carries.
+func tinyCachedConfig() gpuwalk.Config {
+	cfg := gpuwalk.DefaultConfig()
+	cfg.Workload = "MVT"
+	cfg.GPU.CUs = 2
+	cfg.GPU.WavefrontsPerCU = 2
+	cfg.Gen = gpuwalk.GenConfig{Scale: 0.02, WavefrontsPerCU: 2, InstrsPerWavefront: 6}
+	cfg.Seed = 11
+	return cfg
+}
+
+// TestRunCachedDifferential is the cache-correctness acceptance test:
+// the result served from the cache (hit path) must be byte-identical,
+// once serialized, to a fresh simulation of the same config (miss
+// path), and the hit must not re-simulate.
+func TestRunCachedDifferential(t *testing.T) {
+	cache, err := gpuwalk.OpenResultCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyCachedConfig()
+
+	missRes, hit, err := gpuwalk.RunCached(context.Background(), cache, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first run reported a cache hit")
+	}
+	hitRes, hit, err := gpuwalk.RunCached(context.Background(), cache, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second identical run missed the cache")
+	}
+	freshRes, err := gpuwalk.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	enc := func(r gpuwalk.Result) string {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if enc(missRes) != enc(freshRes) {
+		t.Fatal("miss-path result differs from a fresh simulation")
+	}
+	if enc(hitRes) != enc(freshRes) {
+		t.Fatal("cached (hit-path) result differs from a fresh simulation")
+	}
+	if st := cache.Stats(); st.Puts != 1 || st.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want exactly 1 put and 1 hit", st)
+	}
+}
+
+// TestRunCachedDistinguishesConfigs: different configs take different
+// cache entries.
+func TestRunCachedDistinguishesConfigs(t *testing.T) {
+	cache, err := gpuwalk.OpenResultCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tinyCachedConfig()
+	b := tinyCachedConfig()
+	b.Scheduler = gpuwalk.SIMTAware
+	ra, hit, err := gpuwalk.RunCached(context.Background(), cache, a)
+	if err != nil || hit {
+		t.Fatalf("first: hit=%v err=%v", hit, err)
+	}
+	rb, hit, err := gpuwalk.RunCached(context.Background(), cache, b)
+	if err != nil || hit {
+		t.Fatalf("different config served from cache: hit=%v err=%v", hit, err)
+	}
+	if ra.Scheduler == rb.Scheduler {
+		t.Fatal("results do not reflect their configs")
+	}
+}
+
+// TestRunCachedCancelledMissesCleanly: a cancelled miss stores nothing.
+func TestRunCachedCancelledMissesCleanly(t *testing.T) {
+	cache, err := gpuwalk.OpenResultCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := gpuwalk.RunCached(ctx, cache, tinyCachedConfig()); err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if cache.Len() != 0 {
+		t.Fatal("cancelled run left a cache entry")
+	}
+}
