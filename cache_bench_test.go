@@ -109,7 +109,14 @@ func TestBenchCacheColdWarm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_cache.json", append(out, '\n'), 0o644); err != nil {
+	// BENCH_CACHE_OUT redirects the measurement file, so CI can write a
+	// fresh one next to the committed BENCH_cache.json and diff the two
+	// with cmd/benchdiff instead of overwriting the baseline.
+	outPath := os.Getenv("BENCH_CACHE_OUT")
+	if outPath == "" {
+		outPath = "BENCH_cache.json"
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 }

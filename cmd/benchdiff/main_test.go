@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseDoc = `{"model_version":"v4","cold_seconds":2.0,"warm_seconds":0.01,"speedup":200}`
+
+func runDiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	base := writeBench(t, "base.json", baseDoc)
+	fresh := writeBench(t, "new.json", `{"model_version":"v4","cold_seconds":2.4,"warm_seconds":0.012}`)
+	code, out, _ := runDiff(t, "-base", base, "-new", fresh, "-threshold", "0.5")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok") || strings.Contains(out, "REGRESSION") {
+		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	base := writeBench(t, "base.json", baseDoc)
+	fresh := writeBench(t, "new.json", `{"model_version":"v4","cold_seconds":4.0,"warm_seconds":0.01}`)
+	code, out, _ := runDiff(t, "-base", base, "-new", fresh, "-threshold", "0.5")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "cold_seconds") {
+		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestImprovementPasses(t *testing.T) {
+	base := writeBench(t, "base.json", baseDoc)
+	fresh := writeBench(t, "new.json", `{"model_version":"v4","cold_seconds":1.0,"warm_seconds":0.005}`)
+	code, out, _ := runDiff(t, "-base", base, "-new", fresh)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+}
+
+func TestModelVersionMismatchNoted(t *testing.T) {
+	base := writeBench(t, "base.json", baseDoc)
+	fresh := writeBench(t, "new.json", `{"model_version":"v5","cold_seconds":2.0,"warm_seconds":0.01}`)
+	_, out, _ := runDiff(t, "-base", base, "-new", fresh)
+	if !strings.Contains(out, "model_version differs") {
+		t.Fatalf("no mismatch note in:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	base := writeBench(t, "base.json", baseDoc)
+	for name, args := range map[string][]string{
+		"missing -new":   {"-base", base},
+		"missing file":   {"-base", base, "-new", filepath.Join(t.TempDir(), "absent.json")},
+		"missing metric": {"-base", base, "-new", base, "-metrics", "no_such_metric"},
+		"malformed base": {"-base", writeBench(t, "bad.json", "not json"), "-new", base},
+	} {
+		if code, out, errOut := runDiff(t, args...); code != 2 {
+			t.Errorf("%s: exit = %d, want 2\nstdout: %s\nstderr: %s", name, code, out, errOut)
+		}
+	}
+}

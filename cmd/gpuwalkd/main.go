@@ -9,8 +9,10 @@
 //	curl -s localhost:8077/v1/jobs -d '{"spec":{"Workload":"MVT","Scheduler":"simt-aware"}}'
 //	curl -s localhost:8077/v1/jobs/j000001
 //	curl -N localhost:8077/v1/jobs/j000001/events
+//	curl -s localhost:8077/metrics
 //
-// See docs/SERVER.md for the full API and the cache layout.
+// See docs/SERVER.md for the full API, flags, telemetry and the cache
+// layout.
 package main
 
 import (
@@ -21,15 +23,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"gpuwalk"
+	"gpuwalk/internal/gpu"
 	"gpuwalk/internal/jobd"
 )
 
@@ -50,6 +55,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		queueSize    = fs.Int("queue", 64, "max queued jobs before submissions are rejected")
 		timeout      = fs.Duration("timeout", 10*time.Minute, "default per-job timeout (0 = none)")
 		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
+		logFormat    = fs.String("log-format", "json", "structured log format: json or text")
+		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn or error")
+		pprofOn      = fs.Bool("pprof", false, "mount /debug/pprof/ on the API listener")
+		progCycles   = fs.Uint64("progress-cycles", gpu.DefaultProgressEvery, "simulated cycles between progress samples")
+		progInterval = fs.Duration("progress-interval", time.Second, "wall-clock cadence of progress SSE events")
 		printVersion = fs.Bool("version", false, "print the simulator model version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +72,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	logger, err := newLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpuwalkd: %v\n", err)
+		return 2
+	}
 
 	cache, err := gpuwalk.OpenResultCache(*cacheDir, *cacheBytes)
 	if err != nil {
@@ -70,15 +85,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv, err := jobd.NewServer(jobd.Options{
-		Runner:         newRunner(cache),
-		Workers:        *workers,
-		QueueSize:      *queueSize,
-		DefaultTimeout: *timeout,
+		Runner:           newRunner(cache, *progCycles),
+		Workers:          *workers,
+		QueueSize:        *queueSize,
+		DefaultTimeout:   *timeout,
+		Logger:           logger,
+		ProgressInterval: *progInterval,
+		Pprof:            *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "gpuwalkd: %v\n", err)
 		return 1
 	}
+	cache.RegisterMetrics(srv.Metrics(), "gpuwalkd_cache")
+	srv.Metrics().NewGauge("gpuwalkd_build_info",
+		"Build metadata; the value is always 1.",
+		"go_version", "model_version").
+		With(runtime.Version(), gpuwalk.SimVersion).Set(1)
 
 	// SIGTERM/SIGINT triggers a graceful drain: stop accepting jobs,
 	// cancel the queue, let in-flight simulations finish (up to
@@ -96,6 +119,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(stdout, "gpuwalkd: listening on %s (cache %s, %d workers)\n",
 		ln.Addr(), *cacheDir, *workers)
+	logger.Info("listening", "addr", ln.Addr().String(), "cache", *cacheDir,
+		"workers", *workers, "pprof", *pprofOn, "model_version", gpuwalk.SimVersion)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -104,6 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(stdout, "gpuwalkd: shutdown signal received, draining")
+		logger.Info("shutdown signal received, draining")
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		if err := srv.Drain(drainCtx); err != nil {
 			fmt.Fprintf(stderr, "gpuwalkd: drain incomplete, in-flight jobs aborted: %v\n", err)
@@ -126,19 +152,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 	st := cache.Stats()
 	fmt.Fprintf(stdout, "gpuwalkd: exiting; cache served %d hits, %d misses, stored %d results\n",
 		st.Hits, st.Misses, st.Puts)
+	logger.Info("exiting", "cache_hits", st.Hits, "cache_misses", st.Misses, "cache_puts", st.Puts)
 	return code
+}
+
+// newLogger builds the process logger from the -log-format and
+// -log-level flags. Logs go to stderr; stdout stays reserved for the
+// few human-facing status lines scripts already parse.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want json or text", format)
+	}
 }
 
 // newRunner adapts gpuwalk.RunCached to the jobd Runner contract. A
 // spec is a partial gpuwalk.Config merged over DefaultConfig, so
-// {"Workload":"ATX"} is a complete, valid submission.
-func newRunner(cache *gpuwalk.ResultCache) jobd.Runner {
+// {"Workload":"ATX"} is a complete, valid submission. When jobd
+// supplies a progress sink (it always does for HTTP jobs), the
+// simulation's progress hook feeds it every progCycles cycles; cache
+// hits skip simulation and so report no progress.
+func newRunner(cache *gpuwalk.ResultCache, progCycles uint64) jobd.Runner {
 	return func(ctx context.Context, spec json.RawMessage) (json.RawMessage, bool, error) {
 		cfg := gpuwalk.DefaultConfig()
 		dec := json.NewDecoder(bytes.NewReader(spec))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&cfg); err != nil {
 			return nil, false, fmt.Errorf("bad spec: %w", err)
+		}
+		if sink := jobd.ProgressSink(ctx); sink != nil {
+			cfg.Obs.Progress = func(p gpuwalk.Progress) {
+				sink(jobd.ItemProgress{
+					Cycles: p.Cycle,
+					Done:   p.InstrsDone,
+					Total:  p.InstrsTotal,
+					Walks:  p.WalksDone,
+				})
+			}
+			cfg.Obs.ProgressEvery = progCycles
 		}
 		res, hit, err := gpuwalk.RunCached(ctx, cache, cfg)
 		if err != nil {

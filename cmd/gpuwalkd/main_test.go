@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -18,6 +20,7 @@ import (
 
 	"gpuwalk"
 	"gpuwalk/internal/jobd"
+	"gpuwalk/internal/obs"
 )
 
 // syncBuffer is a goroutine-safe bytes.Buffer for capturing the
@@ -78,6 +81,11 @@ func TestEndToEnd(t *testing.T) {
 			"-workers", "2",
 			"-timeout", "2m",
 			"-drain-timeout", "60s",
+			"-log-format", "text",
+			// Sample progress every 500 simulated cycles and stream it
+			// every 10ms so even this tiny run emits progress events.
+			"-progress-cycles", "500",
+			"-progress-interval", "10ms",
 		}, &stdout, &stderr)
 	}()
 
@@ -126,22 +134,62 @@ func TestEndToEnd(t *testing.T) {
 	first := submit()
 
 	// Follow the SSE stream to completion: replay + live events,
-	// ending with the terminal event when the stream closes.
+	// ending with the terminal event when the stream closes. Live
+	// `progress` events interleave with the log events; stripped of
+	// them, the sequence must be exactly the job's event log.
 	resp, err := http.Get(base + "/v1/jobs/" + first.ID + "/events")
 	if err != nil {
 		t.Fatal(err)
 	}
+	type progressData struct {
+		Item      int    `json:"item"`
+		Cycles    uint64 `json:"cycles"`
+		Done      uint64 `json:"done"`
+		Total     uint64 `json:"total"`
+		ItemsDone int    `json:"items_done"`
+	}
 	var events []string
+	var progress []progressData
+	var curType string
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
-		if line := sc.Text(); strings.HasPrefix(line, "event: ") {
-			events = append(events, strings.TrimPrefix(line, "event: "))
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			curType = strings.TrimPrefix(line, "event: ")
+			if curType != jobd.EventProgress {
+				events = append(events, curType)
+			}
+		case strings.HasPrefix(line, "data: ") && curType == jobd.EventProgress:
+			var pd progressData
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &pd); err != nil {
+				t.Fatalf("bad progress payload %q: %v", line, err)
+			}
+			progress = append(progress, pd)
 		}
 	}
 	resp.Body.Close()
 	wantEvents := []string{jobd.EventQueued, jobd.EventStarted, jobd.EventItemDone, jobd.EventItemDone, jobd.EventDone}
 	if strings.Join(events, ",") != strings.Join(wantEvents, ",") {
 		t.Fatalf("SSE events = %v, want %v", events, wantEvents)
+	}
+	// A real (uncached) simulation job must stream live progress:
+	// at least one event, cycles non-decreasing within an item, the
+	// finished-item count non-decreasing across the job.
+	if len(progress) == 0 {
+		t.Fatal("no progress SSE events from an uncached simulation job")
+	}
+	for i := 1; i < len(progress); i++ {
+		a, b := progress[i-1], progress[i]
+		if a.Item == b.Item && b.Cycles < a.Cycles {
+			t.Fatalf("progress cycles regressed: %+v -> %+v", a, b)
+		}
+		if b.ItemsDone < a.ItemsDone {
+			t.Fatalf("progress items_done regressed: %+v -> %+v", a, b)
+		}
+	}
+	if last := progress[len(progress)-1]; last.Total == 0 || last.Done != last.Total {
+		t.Fatalf("final progress event incomplete: %+v", last)
 	}
 
 	fetch := func(id string) jobd.JobView {
@@ -188,17 +236,37 @@ func TestEndToEnd(t *testing.T) {
 		}
 	}
 
-	// /metrics reflects the work done.
+	// /metrics serves Prometheus text reflecting the work done,
+	// including the wired-in cache and build_info families.
 	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	metrics, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypeProm {
+		t.Fatalf("metrics Content-Type = %q, want %q", ct, obs.ContentTypeProm)
+	}
+	prom, err := obs.ParsePromText(resp.Body)
 	resp.Body.Close()
-	for _, want := range []string{"jobs.submitted 2", "jobs.done 2", "items.cache_hits 2"} {
-		if !strings.Contains(string(metrics), want) {
-			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+	if err != nil {
+		t.Fatalf("metrics output is not valid Prometheus text: %v", err)
+	}
+	for key, want := range map[string]float64{
+		`jobd_jobs_submitted_total`:              2,
+		`jobd_jobs_finished_total{state="done"}`: 2,
+		`jobd_item_cache_total{result="hit"}`:    2,
+		`jobd_item_cache_total{result="miss"}`:   2,
+		`gpuwalkd_cache_hits_total`:              2,
+		`gpuwalkd_cache_entries`:                 2,
+	} {
+		got, ok := prom.Sample(key)
+		if !ok || got != want {
+			t.Fatalf("metric %s = %v (present=%v), want %v", key, got, ok, want)
 		}
+	}
+	buildKey := `gpuwalkd_build_info{go_version=` + strconv.Quote(runtime.Version()) +
+		`,model_version=` + strconv.Quote(gpuwalk.SimVersion) + `}`
+	if v, ok := prom.Sample(buildKey); !ok || v != 1 {
+		t.Fatalf("metric %s = %v (present=%v), want 1", buildKey, v, ok)
 	}
 
 	// SIGTERM: the server drains gracefully and exits 0.
@@ -252,7 +320,7 @@ func TestRunnerRejectsBadSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cache.Close()
-	r := newRunner(cache)
+	r := newRunner(cache, 500)
 	for _, spec := range []string{`{"Workloud":"MVT"}`, `{"GPU":{"CUs":"two"}}`, `not json`} {
 		if _, _, err := r(context.Background(), json.RawMessage(spec)); err == nil {
 			t.Errorf("runner accepted bad spec %s", spec)

@@ -84,6 +84,10 @@ type (
 	FaultConfig = iommu.FaultConfig
 	// InjectedStats counts the faults an injection-enabled run injected.
 	InjectedStats = faultinject.Stats
+	// Progress is a live snapshot of a running simulation's forward
+	// motion (cycle, instructions done/total, walks), delivered through
+	// ObsConfig.Progress. See docs/OBSERVABILITY.md §6.
+	Progress = gpu.Progress
 )
 
 // NewTracer returns an empty event tracer. Pass it via Config.Obs to
@@ -172,6 +176,16 @@ type ObsConfig struct {
 	// MetricsEpoch is the sampling period in cycles (0 uses
 	// gpu.DefaultMetricsEpoch, 10000).
 	MetricsEpoch uint64
+	// Progress, when non-nil, receives periodic Progress snapshots on
+	// the simulation goroutine: one baseline at cycle 0, one every
+	// ProgressEvery cycles, and one final snapshot when the engine
+	// stops. It must not block or mutate model state; publish across
+	// goroutines via atomics. Leaving it nil costs nothing and keeps
+	// the run byte-identical to an unhooked one.
+	Progress func(Progress)
+	// ProgressEvery is the publication period in cycles (0 uses
+	// gpu.DefaultProgressEvery, 50000).
+	ProgressEvery uint64
 }
 
 // DefaultConfig returns the paper's Table I baseline with the FCFS
@@ -237,6 +251,8 @@ func RunTraceContext(ctx context.Context, cfg Config, tr *Trace) (Result, error)
 		Tracer:           cfg.Obs.Tracer,
 		Metrics:          cfg.Obs.Metrics,
 		MetricsEpoch:     cfg.Obs.MetricsEpoch,
+		Progress:         cfg.Obs.Progress,
+		ProgressEvery:    cfg.Obs.ProgressEvery,
 	}, tr)
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,96 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpuwalk/internal/workload"
+)
+
+func tinyProgressTrace(t *testing.T, p Params) *workload.Trace {
+	t.Helper()
+	g, err := workload.ByName("MVT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.GenConfig{}.WithDefaults()
+	gen.Scale = 0.02
+	gen.WavefrontsPerCU = 2
+	gen.InstrsPerWavefront = 6
+	gen.CUs = p.GPU.CUs
+	gen.WavefrontWidth = p.GPU.WavefrontWidth
+	return g.Generate(gen)
+}
+
+// TestProgressHook: a run with a Progress hook publishes a baseline, a
+// final snapshot, and (with a small enough period) periodic ticks in
+// between — all monotonically non-decreasing, ending complete.
+func TestProgressHook(t *testing.T) {
+	p := DefaultParams()
+	p.GPU.CUs = 2
+	var snaps []Progress
+	p.Progress = func(pr Progress) { snaps = append(snaps, pr) }
+	p.ProgressEvery = 2000
+	tr := tinyProgressTrace(t, p)
+
+	sys, err := NewSystem(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("only %d progress snapshots; want baseline + periodic + final", len(snaps))
+	}
+	first, last := snaps[0], snaps[len(snaps)-1]
+	if first.Cycle != 0 || first.InstrsDone != 0 || first.InstrsTotal == 0 {
+		t.Fatalf("baseline snapshot = %+v", first)
+	}
+	for i := 1; i < len(snaps); i++ {
+		a, b := snaps[i-1], snaps[i]
+		if b.Cycle < a.Cycle || b.InstrsDone < a.InstrsDone || b.WalksDone < a.WalksDone {
+			t.Fatalf("snapshot %d regressed: %+v -> %+v", i, a, b)
+		}
+	}
+	if last.InstrsDone != last.InstrsTotal || last.InstrsDone != res.Instructions {
+		t.Fatalf("final snapshot %+v does not match result (%d instructions)", last, res.Instructions)
+	}
+	if last.Cycle != res.Cycles {
+		t.Fatalf("final snapshot cycle %d != result cycles %d", last.Cycle, res.Cycles)
+	}
+}
+
+// TestProgressHookDoesNotPerturb: the same seeded run with and without
+// the hook produces identical results (the publisher rides daemon
+// events and never extends or reorders real work).
+func TestProgressHookDoesNotPerturb(t *testing.T) {
+	base := DefaultParams()
+	base.GPU.CUs = 2
+	tr := tinyProgressTrace(t, base)
+
+	run := func(p Params) Result {
+		t.Helper()
+		sys, err := NewSystem(p, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(base)
+	hooked := base
+	hooked.Progress = func(Progress) {}
+	hooked.ProgressEvery = 777
+	got := run(hooked)
+	if got.Cycles != plain.Cycles || got.Instructions != plain.Instructions ||
+		got.StallCycles != plain.StallCycles ||
+		got.IOMMU.WalksDone != plain.IOMMU.WalksDone ||
+		got.IOMMU.WalkLatency != plain.IOMMU.WalkLatency ||
+		got.DRAM != plain.DRAM {
+		t.Fatalf("progress hook perturbed the run:\n%+v\nvs\n%+v", got, plain)
+	}
+}

@@ -56,6 +56,9 @@ type System struct {
 	inj        *faultinject.Injector // nil unless fault injection is on
 	watchdogIv uint64                // no-progress watchdog interval (0 = off)
 	stallErr   error                 // set by the watchdog on a trip
+
+	progFn    func(Progress) // nil unless live progress is on
+	progEvery uint64
 }
 
 // Params collects everything needed to build a System.
@@ -100,10 +103,41 @@ type Params struct {
 	// instructions remain, the run aborts with a diagnostic dump of
 	// every queue instead of spinning forever. 0 disables.
 	WatchdogInterval uint64
+
+	// Progress, when non-nil, receives a Progress snapshot every
+	// ProgressEvery cycles while the run is live, plus one final
+	// snapshot when the engine stops (normally, cancelled, or stalled).
+	// It is called on the simulation goroutine and must not block or
+	// mutate model state; receivers that publish across goroutines
+	// should copy the fields into atomics. Like the watchdog, the
+	// periodic publication rides daemon events, so it never extends a
+	// run past its real work, and a run with Progress unset is
+	// byte-identical to one without the hook compiled in.
+	Progress func(Progress)
+	// ProgressEvery is the publication period in cycles (0 uses
+	// DefaultProgressEvery).
+	ProgressEvery uint64
+}
+
+// Progress is a point-in-time snapshot of a run's forward motion, for
+// live telemetry (gpuwalkd's per-job progress). All counters are
+// cumulative over the run; InstrsDone/InstrsTotal give completion,
+// Cycle gives simulated time.
+type Progress struct {
+	Cycle        uint64
+	InstrsDone   uint64
+	InstrsTotal  uint64
+	WalksDone    uint64
+	Translations uint64
 }
 
 // DefaultMetricsEpoch is the default metrics sampling period in cycles.
 const DefaultMetricsEpoch = 10000
+
+// DefaultProgressEvery is the default progress publication period in
+// cycles. Coarser than the metrics epoch: progress feeds wall-clock
+// telemetry (ETAs, live dashboards), not per-epoch analysis.
+const DefaultProgressEvery = 50000
 
 // DefaultParams returns the full Table I baseline.
 func DefaultParams() Params {
@@ -215,6 +249,13 @@ func NewSystem(p Params, tr *workload.Trace) (*System, error) {
 			c.l1tlb.SetTracer(p.Tracer, p.Tracer.NewTrack("gpu", fmt.Sprintf("cu%d-l1tlb", i)))
 		}
 	}
+	if p.Progress != nil {
+		s.progFn = p.Progress
+		s.progEvery = p.ProgressEvery
+		if s.progEvery == 0 {
+			s.progEvery = DefaultProgressEvery
+		}
+	}
 	if p.Metrics != nil {
 		s.met = p.Metrics
 		s.metEpoch = p.MetricsEpoch
@@ -307,6 +348,19 @@ func (s *System) progress() uint64 {
 	return s.instrsDone + st.WalksDone + st.FaultsServiced
 }
 
+// publishProgress snapshots the same counters the watchdog samples into
+// a Progress value and hands it to the registered hook. Runs on the
+// simulation goroutine.
+func (s *System) publishProgress() {
+	s.progFn(Progress{
+		Cycle:        uint64(s.eng.Now()),
+		InstrsDone:   s.instrsDone,
+		InstrsTotal:  s.instrsTotal,
+		WalksDone:    s.io.Stats().WalksDone,
+		Translations: s.translations,
+	})
+}
+
 // dumpState renders a queue-by-queue snapshot for the watchdog's
 // no-progress diagnostic.
 func (s *System) dumpState() string {
@@ -348,6 +402,10 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		s.met.Sample(0)
 		s.scheduleSample()
 	}
+	if s.progFn != nil {
+		s.publishProgress() // a zero-cycle baseline carrying InstrsTotal
+		sim.StartProgressPublisher(s.eng, s.progEvery, s.publishProgress)
+	}
 	if s.watchdogIv > 0 {
 		sim.StartWatchdog(s.eng, sim.WatchdogConfig{
 			Interval: s.watchdogIv,
@@ -370,6 +428,12 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		s.eng.Run()
 	} else {
 		s.eng.RunWithInterrupt(0, func() bool { return ctx.Err() != nil })
+	}
+	if s.progFn != nil {
+		// Final snapshot: every run that started reports at least one
+		// post-start publication, however short it was (and however the
+		// run ended — finished, cancelled, or stalled).
+		s.publishProgress()
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, fmt.Errorf("gpu: simulation cancelled at cycle %d: %w", s.eng.Now(), err)

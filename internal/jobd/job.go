@@ -63,6 +63,12 @@ const (
 	EventDone      = "done"      // terminal: all items succeeded
 	EventFailed    = "failed"    // terminal: at least one item failed
 	EventCancelled = "cancelled" // terminal: drain or timeout cancelled the job
+
+	// EventProgress is a synthetic SSE-only event type: live telemetry
+	// emitted while a job runs (and once before its terminal event).
+	// Progress events are never appended to the job's event log and
+	// carry no id line, so reconnecting clients cannot resume from one.
+	EventProgress = "progress"
 )
 
 // job is the server-side record. All fields are guarded by the
@@ -82,6 +88,11 @@ type job struct {
 	// job reaches a terminal state.
 	waiters map[chan struct{}]struct{}
 
+	// prog is the job's live telemetry. Unlike every other field it is
+	// NOT guarded by the server mutex: it is all atomics, written by
+	// the runner's goroutine and read by HTTP handlers.
+	prog progressTracker
+
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -98,6 +109,9 @@ type JobView struct {
 	ItemsDone int `json:"items_done"`
 	// CacheHits counts items served from the result cache.
 	CacheHits int `json:"cache_hits"`
+	// Progress is the job's live telemetry, present once the runner has
+	// reported (and kept, frozen, after the job finishes).
+	Progress *ProgressView `json:"progress,omitempty"`
 
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
@@ -113,6 +127,7 @@ func (j *job) view() JobView {
 		Error:    j.err,
 		Items:    append([]Item(nil), j.items...),
 		Created:  j.created,
+		Progress: j.prog.snapshot(time.Now()),
 	}
 	for _, it := range j.items {
 		if it.Done {

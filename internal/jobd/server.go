@@ -5,9 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	netpprof "net/http/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpuwalk/internal/obs"
@@ -16,7 +20,9 @@ import (
 // Runner executes one job item. It receives the item's opaque spec and
 // returns the result payload plus whether it came from a result cache.
 // The context carries the job's deadline and the server's lifetime;
-// runners must return promptly once it is cancelled.
+// runners must return promptly once it is cancelled. Runners that can
+// report live progress should fetch the sink with ProgressSink(ctx)
+// and call it as they go.
 type Runner func(ctx context.Context, spec json.RawMessage) (result json.RawMessage, cacheHit bool, err error)
 
 // Options configures a Server.
@@ -35,6 +41,16 @@ type Options struct {
 	// MaxTimeout caps per-job timeouts (and applies when a job asks
 	// for no deadline). Zero means uncapped.
 	MaxTimeout time.Duration
+	// Logger receives structured lifecycle logs (accept, start,
+	// item_done, finish, drain) with job and request IDs. Nil discards.
+	Logger *slog.Logger
+	// ProgressInterval is the cadence of `progress` SSE events while a
+	// job runs and its runner reports. Defaults to 1s.
+	ProgressInterval time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the handler.
+	// Off by default: the profiles expose internals, so enabling is an
+	// explicit operator decision (gpuwalkd's -pprof flag).
+	Pprof bool
 }
 
 // Errors surfaced by Submit, mapped to HTTP statuses by the handler.
@@ -46,6 +62,7 @@ var (
 // Server owns the queue, the worker pool and the job table.
 type Server struct {
 	opts Options
+	log  *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -65,16 +82,8 @@ type Server struct {
 	// drain can abort them.
 	running map[string]context.CancelFunc
 
-	reg        *obs.Registry
-	mSubmitted *obs.Counter
-	mRejected  *obs.Counter
-	mDone      *obs.Counter
-	mFailed    *obs.Counter
-	mCancelled *obs.Counter
-	mCacheHits *obs.Counter
-	mItemsRun  *obs.Counter
-	gQueued    *obs.Gauge
-	gRunning   *obs.Gauge
+	metrics   *serverMetrics
+	nextReqID atomic.Uint64
 }
 
 // NewServer builds a server and starts its worker pool.
@@ -91,26 +100,25 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.QueueSize < 0 {
 		opts.QueueSize = 0 // jobQueue treats 0 as unbounded
 	}
+	if opts.ProgressInterval <= 0 {
+		opts.ProgressInterval = time.Second
+	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:       opts,
+		log:        log,
 		jobs:       make(map[string]*job),
 		queue:      newJobQueue(opts.QueueSize),
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		running:    make(map[string]context.CancelFunc),
-		reg:        obs.NewRegistry(),
+		metrics:    newServerMetrics(time.Now()),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.mSubmitted = s.reg.Counter("jobs.submitted")
-	s.mRejected = s.reg.Counter("jobs.rejected")
-	s.mDone = s.reg.Counter("jobs.done")
-	s.mFailed = s.reg.Counter("jobs.failed")
-	s.mCancelled = s.reg.Counter("jobs.cancelled")
-	s.mCacheHits = s.reg.Counter("items.cache_hits")
-	s.mItemsRun = s.reg.Counter("items.run")
-	s.gQueued = s.reg.Gauge("jobs.queued")
-	s.gRunning = s.reg.Gauge("jobs.running")
 	for i := 0; i < opts.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -131,6 +139,12 @@ type SubmitRequest struct {
 
 // Submit validates and admits a job, returning its queued view.
 func (s *Server) Submit(req SubmitRequest) (JobView, error) {
+	return s.submit(req, "")
+}
+
+// submit is Submit with the originating HTTP request ID (empty for
+// programmatic submissions) attached to the lifecycle logs.
+func (s *Server) submit(req SubmitRequest, reqID string) (JobView, error) {
 	var specs []json.RawMessage
 	switch {
 	case req.Spec != nil && len(req.Specs) > 0:
@@ -157,11 +171,13 @@ func (s *Server) Submit(req SubmitRequest) (JobView, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		s.mRejected.Inc()
+		s.metrics.rejected.With("draining").Inc()
+		s.log.Warn("job rejected", "request_id", reqID, "reason", "draining")
 		return JobView{}, ErrDraining
 	}
 	if s.queue.Full() {
-		s.mRejected.Inc()
+		s.metrics.rejected.With("queue_full").Inc()
+		s.log.Warn("job rejected", "request_id", reqID, "reason", "queue_full")
 		return JobView{}, ErrQueueFull
 	}
 	s.nextSeq++
@@ -181,8 +197,10 @@ func (s *Server) Submit(req SubmitRequest) (JobView, error) {
 	s.order = append(s.order, j.id)
 	s.queue.push(j)
 	j.appendEvent(EventQueued, map[string]any{"items": len(specs)})
-	s.mSubmitted.Inc()
-	s.gQueued.Set(int64(s.queue.Len()))
+	s.metrics.submitted.Inc()
+	s.metrics.queued.Set(float64(s.queue.Len()))
+	s.log.Info("job accepted", "request_id", reqID, "job_id", j.id,
+		"items", len(specs), "priority", j.priority, "timeout", timeout.String())
 	s.cond.Signal()
 	return j.view(), nil
 }
@@ -224,7 +242,7 @@ func (s *Server) worker() {
 			return
 		}
 		if j.state != StateQueued { // cancelled while queued
-			s.gQueued.Set(int64(s.queue.Len()))
+			s.metrics.queued.Set(float64(s.queue.Len()))
 			s.mu.Unlock()
 			continue
 		}
@@ -239,16 +257,18 @@ func (s *Server) worker() {
 		}
 		s.running[j.id] = cancel
 		j.appendEvent(EventStarted, nil)
-		s.gQueued.Set(int64(s.queue.Len()))
-		s.gRunning.Set(int64(len(s.running)))
+		s.metrics.queued.Set(float64(s.queue.Len()))
+		s.metrics.running.Set(float64(len(s.running)))
 		s.mu.Unlock()
+		s.log.Info("job started", "job_id", j.id, "items", len(j.items),
+			"queue_wait_ms", j.started.Sub(j.created).Milliseconds())
 
 		s.runJob(ctx, j)
 		cancel()
 
 		s.mu.Lock()
 		delete(s.running, j.id)
-		s.gRunning.Set(int64(len(s.running)))
+		s.metrics.running.Set(float64(len(s.running)))
 		s.mu.Unlock()
 	}
 }
@@ -264,7 +284,8 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		spec := j.items[i].Spec
 		s.mu.Unlock()
 
-		result, hit, err := s.opts.Runner(ctx, spec)
+		j.prog.beginItem(i, time.Now())
+		result, hit, err := s.opts.Runner(withProgress(ctx, j.prog.sink), spec)
 
 		s.mu.Lock()
 		if ctx.Err() != nil {
@@ -275,14 +296,17 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		}
 		it := &j.items[i]
 		it.Done = true
-		s.mItemsRun.Inc()
 		if err != nil {
 			it.Error = err.Error()
+			s.metrics.items.With("error").Inc()
 		} else {
 			it.Result = result
 			it.CacheHit = hit
+			s.metrics.items.With("ok").Inc()
 			if hit {
-				s.mCacheHits.Inc()
+				s.metrics.itemCache.With("hit").Inc()
+			} else {
+				s.metrics.itemCache.With("miss").Inc()
 			}
 		}
 		j.appendEvent(EventItemDone, map[string]any{
@@ -291,16 +315,19 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 			"error":     it.Error,
 		})
 		s.mu.Unlock()
+		s.log.Info("item done", "job_id", j.id, "item", i, "cache_hit", hit, "error", errText(err))
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.finished = time.Now()
+	dur := j.finished.Sub(j.started)
 	if err := ctx.Err(); err != nil {
 		j.state = StateCancelled
 		j.err = fmt.Sprintf("job cancelled: %v", err)
 		j.appendEvent(EventCancelled, map[string]any{"reason": err.Error()})
-		s.mCancelled.Inc()
+		s.metrics.finishJob(StateCancelled, dur)
+		s.log.Warn("job cancelled", "job_id", j.id, "reason", err.Error(), "duration_ms", dur.Milliseconds())
 		return
 	}
 	failed := 0
@@ -313,12 +340,21 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		j.state = StateFailed
 		j.err = fmt.Sprintf("%d of %d items failed", failed, len(j.items))
 		j.appendEvent(EventFailed, map[string]any{"failed": failed})
-		s.mFailed.Inc()
+		s.metrics.finishJob(StateFailed, dur)
+		s.log.Warn("job failed", "job_id", j.id, "failed_items", failed, "duration_ms", dur.Milliseconds())
 		return
 	}
 	j.state = StateDone
 	j.appendEvent(EventDone, nil)
-	s.mDone.Inc()
+	s.metrics.finishJob(StateDone, dur)
+	s.log.Info("job done", "job_id", j.id, "items", len(j.items), "duration_ms", dur.Milliseconds())
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // Drain gracefully shuts the server down: new submissions are
@@ -329,6 +365,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
+		s.log.Info("drain started", "queued", s.queue.Len(), "running", len(s.running))
 		for {
 			j := s.queue.pop()
 			if j == nil {
@@ -338,9 +375,10 @@ func (s *Server) Drain(ctx context.Context) error {
 			j.err = "job cancelled: server draining"
 			j.finished = time.Now()
 			j.appendEvent(EventCancelled, map[string]any{"reason": "server draining"})
-			s.mCancelled.Inc()
+			s.metrics.finishJob(StateCancelled, 0)
+			s.log.Warn("job cancelled", "job_id", j.id, "reason", "server draining")
 		}
-		s.gQueued.Set(0)
+		s.metrics.queued.Set(0)
 		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
@@ -352,10 +390,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.Info("drain finished")
 		return nil
 	case <-ctx.Done():
 		s.cancelBase() // abort in-flight jobs
 		<-done
+		s.log.Warn("drain deadline expired; in-flight jobs aborted")
 		return ctx.Err()
 	}
 }
@@ -375,14 +415,56 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// reqIDKey carries the middleware-assigned request ID through handler
+// contexts.
+type reqIDKey struct{}
+
+// requestID extracts the middleware-assigned request ID, if any.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the response code for the request log and
+// the http_requests_total code label, passing Flush through so SSE
+// streaming keeps working behind it.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // Handler returns the HTTP API:
 //
 //	POST /v1/jobs             submit a job (SubmitRequest body)
 //	GET  /v1/jobs             list jobs
-//	GET  /v1/jobs/{id}        one job
+//	GET  /v1/jobs/{id}        one job (includes live progress)
 //	GET  /v1/jobs/{id}/events server-sent event stream
 //	GET  /healthz             "ok" (200) or "draining" (503)
-//	GET  /metrics             plain-text metric exposition
+//	GET  /metrics             Prometheus text exposition
+//	GET  /debug/pprof/...     net/http/pprof (Options.Pprof only)
+//
+// Every response carries an X-Request-Id header; the same ID labels
+// the request's structured logs.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -391,7 +473,41 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	if s.opts.Pprof {
+		// No method in the patterns: pprof handlers accept GET and POST.
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
+	return s.withTelemetry(mux)
+}
+
+// withTelemetry assigns each request an ID, counts it by route pattern
+// and status code, and logs it. The route label is the mux pattern
+// ("GET /v1/jobs/{id}"), never the raw path, so label cardinality
+// stays bounded.
+func (s *Server) withTelemetry(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := fmt.Sprintf("r%06d", s.nextReqID.Add(1))
+		w.Header().Set("X-Request-Id", reqID)
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		mux.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, reqID)))
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.metrics.httpReqs.With(route, strconv.Itoa(code)).Inc()
+		s.log.Debug("http request", "request_id", reqID, "route", route,
+			"path", r.URL.Path, "code", code,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000)
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -402,7 +518,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	v, err := s.Submit(req)
+	v, err := s.submit(req, requestID(r.Context()))
 	switch {
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
@@ -428,10 +544,20 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// progressEvent is the payload of a `progress` SSE event: the job's
+// live per-item telemetry plus the job-level finished-item count.
+type progressEvent struct {
+	ProgressView
+	ItemsDone int `json:"items_done"`
+}
+
 // handleEvents streams a job's event log as server-sent events: the
 // log so far is replayed immediately, then new events are pushed as
 // they are appended, until the job reaches a terminal state or the
-// client goes away.
+// client goes away. While the job runs and its runner reports
+// progress, synthetic `progress` events (never stored in the log, no
+// id line) interleave at Options.ProgressInterval, with one final
+// progress event guaranteed immediately before the terminal event.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -446,6 +572,29 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	// writeProgress emits one `progress` event if the runner has ever
+	// reported; it returns false when the client is gone.
+	writeProgress := func() bool {
+		pv := j.prog.snapshot(time.Now())
+		if pv == nil {
+			return true
+		}
+		s.mu.Lock()
+		itemsDone := 0
+		for i := range j.items {
+			if j.items[i].Done {
+				itemsDone++
+			}
+		}
+		s.mu.Unlock()
+		b, err := json.Marshal(progressEvent{ProgressView: *pv, ItemsDone: itemsDone})
+		if err != nil {
+			return false
+		}
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", EventProgress, b)
+		return err == nil
+	}
+
 	next := 0
 	for {
 		s.mu.Lock()
@@ -459,6 +608,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 
 		for _, ev := range events {
+			if terminalEvent(ev.Type) && !writeProgress() {
+				return
+			}
 			b, err := json.Marshal(ev)
 			if err != nil {
 				return
@@ -476,15 +628,33 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if wake == nil {
 			continue
 		}
+		timer := time.NewTimer(s.opts.ProgressInterval)
 		select {
 		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+			s.mu.Lock()
+			j.unsubscribe(wake)
+			s.mu.Unlock()
+			if !writeProgress() {
+				return
+			}
+			if canFlush {
+				fl.Flush()
+			}
 		case <-r.Context().Done():
+			timer.Stop()
 			s.mu.Lock()
 			j.unsubscribe(wake)
 			s.mu.Unlock()
 			return
 		}
 	}
+}
+
+// terminalEvent reports whether an event type ends the job's log.
+func terminalEvent(typ string) bool {
+	return typ == EventDone || typ == EventFailed || typ == EventCancelled
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -496,17 +666,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleMetrics writes one "name value" line per metric. The obs
-// registry is not goroutine-safe, so the snapshot is taken under the
-// server lock that also guards every metric update.
+// handleMetrics serves the Prometheus text exposition. Counters and
+// gauges are atomics, so the snapshot never blocks the worker pool.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	names, vals := s.reg.Snapshot()
-	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for i, n := range names {
-		fmt.Fprintf(w, "%s %s\n", n, strconv.FormatFloat(vals[i], 'g', -1, 64))
-	}
+	w.Header().Set("Content-Type", obs.ContentTypeProm)
+	_ = s.metrics.fams.WriteText(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -14,6 +14,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"gpuwalk/internal/obs"
 )
 
 // echoRunner returns the spec back as the result, counting calls.
@@ -459,25 +461,31 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sb strings.Builder
-	sc := bufio.NewScanner(resp.Body)
-	lines := map[string]string{}
-	for sc.Scan() {
-		sb.WriteString(sc.Text() + "\n")
-		if name, val, ok := strings.Cut(sc.Text(), " "); ok {
-			lines[name] = val
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypeProm {
+		t.Fatalf("metrics Content-Type = %q, want %q", ct, obs.ContentTypeProm)
+	}
+	prom, err := obs.ParsePromText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("metrics output is not valid Prometheus text: %v", err)
+	}
+	for key, want := range map[string]float64{
+		`jobd_jobs_submitted_total`:              1,
+		`jobd_jobs_finished_total{state="done"}`: 1,
+		`jobd_item_cache_total{result="hit"}`:    1,
+		`jobd_items_total{outcome="ok"}`:         1,
+		`jobd_jobs_running`:                      0,
+	} {
+		got, ok := prom.Sample(key)
+		if !ok || got != want {
+			t.Fatalf("metric %s = %v (present=%v), want %v", key, got, ok, want)
 		}
 	}
-	resp.Body.Close()
-	for name, want := range map[string]string{
-		"jobs.submitted":   "1",
-		"jobs.done":        "1",
-		"items.cache_hits": "1",
-		"jobs.running":     "0",
-	} {
-		if lines[name] != want {
-			t.Fatalf("metric %s = %q, want %q\n%s", name, lines[name], want, sb.String())
-		}
+	if n, ok := prom.Sample(`jobd_job_duration_seconds_count{state="done"}`); !ok || n != 1 {
+		t.Fatalf("duration histogram count = %v (present=%v), want 1", n, ok)
+	}
+	if up, ok := prom.Sample(`jobd_uptime_seconds`); !ok || up < 0 {
+		t.Fatalf("uptime gauge = %v (present=%v)", up, ok)
 	}
 
 	// After a drain, healthz flips to 503.

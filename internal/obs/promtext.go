@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentTypeProm is the Content-Type an HTTP handler serving WriteText
+// output must set: Prometheus text exposition format version 0.0.4.
+const ContentTypeProm = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText writes every family in the Prometheus text exposition
+// format: a # HELP and # TYPE line per family, then one sample line per
+// child (histograms expand into cumulative _bucket lines plus _sum and
+// _count). Output is deterministic — families sort by name, children by
+// label values — and safe to call concurrently with metric mutation:
+// each sample is an atomic read, so a scrape sees a value each series
+// held at some instant during the scrape.
+func (s *FamilySet) WriteText(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<14)
+	for _, f := range s.snapshotFamilies() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.kind))
+		bw.WriteByte('\n')
+
+		if f.fn != nil {
+			writeSample(bw, f.name, f.labels, nil, "", "", f.fn())
+			continue
+		}
+		for _, c := range f.snapshotChildren() {
+			switch f.kind {
+			case KindCounter:
+				writeSample(bw, f.name, f.labels, c.labelValues, "", "", float64(c.count.Load()))
+			case KindGauge:
+				writeSample(bw, f.name, f.labels, c.labelValues, "", "", math.Float64frombits(c.gaugeBits.Load()))
+			case KindHistogram:
+				var cum uint64
+				for i := range c.buckets {
+					cum += c.buckets[i].Load()
+					le := "+Inf"
+					if i < len(f.bounds) {
+						le = formatPromValue(f.bounds[i])
+					}
+					writeSample(bw, f.name+"_bucket", f.labels, c.labelValues, "le", le, float64(cum))
+				}
+				writeSample(bw, f.name+"_sum", f.labels, c.labelValues, "", "", math.Float64frombits(c.hsum.Load()))
+				writeSample(bw, f.name+"_count", f.labels, c.labelValues, "", "", float64(c.hcount.Load()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one "name{labels} value" line. extraKey/extraVal
+// append one synthetic label (the histogram le) after the family's own.
+func writeSample(bw *bufio.Writer, name string, labelNames, labelValues []string, extraKey, extraVal string, v float64) {
+	bw.WriteString(name)
+	if len(labelNames) > 0 || extraKey != "" {
+		bw.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(ln)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(labelValues[i]))
+			bw.WriteByte('"')
+		}
+		if extraKey != "" {
+			if len(labelNames) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraKey)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(extraVal))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatPromValue(v))
+	bw.WriteByte('\n')
+}
+
+// formatPromValue renders a sample value: integers without a fraction,
+// everything else in shortest round-trip form, infinities as +Inf/-Inf.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

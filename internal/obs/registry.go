@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"sync/atomic"
 
 	"gpuwalk/internal/atomicio"
 )
@@ -58,14 +59,14 @@ func (r *Registry) Func(name string, fn func() float64) {
 // Counter registers and returns a monotonic counter.
 func (r *Registry) Counter(name string) *Counter {
 	c := &Counter{}
-	r.Func(name, func() float64 { return float64(c.v) })
+	r.Func(name, func() float64 { return float64(c.Value()) })
 	return c
 }
 
 // Gauge registers and returns a settable gauge.
 func (r *Registry) Gauge(name string) *Gauge {
 	g := &Gauge{}
-	r.Func(name, func() float64 { return float64(g.v) })
+	r.Func(name, func() float64 { return float64(g.Value()) })
 	return g
 }
 
@@ -102,10 +103,13 @@ func (r *Registry) Sample(cycle uint64) {
 
 // Snapshot evaluates every registered column right now and returns
 // (name, value) pairs in registration order, without recording a row or
-// sealing the registry. It backs live exposition endpoints (the jobd
-// /metrics handler) where sampling into the CSV time series would be
-// wrong. Callers coordinating concurrent metric writers must serialize
-// Snapshot against them; the Registry itself is not goroutine-safe.
+// sealing the registry. It backs live exposition endpoints where
+// sampling into the CSV time series would be wrong. Counter and Gauge
+// columns mutate atomically, so Snapshot may race with their writers
+// and still read consistent values; Func columns closing over other
+// shared state need caller-side synchronization, and registration
+// itself must not race with Snapshot. Server-grade exposition with
+// labels lives in FamilySet (prom.go).
 func (r *Registry) Snapshot() ([]string, []float64) {
 	if r == nil {
 		return nil, nil
@@ -186,20 +190,22 @@ func formatMetric(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// Counter is a monotonically increasing metric handle.
-type Counter struct{ v uint64 }
+// Counter is a monotonically increasing metric handle. Mutations are
+// atomic, so a counter may be bumped by worker goroutines while an HTTP
+// scrape snapshots it.
+type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -208,23 +214,24 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a point-in-time metric handle.
-type Gauge struct{ v int64 }
+// Gauge is a point-in-time metric handle. Mutations are atomic, like
+// Counter's.
+type Gauge struct{ v atomic.Int64 }
 
 // Set replaces the value.
 func (g *Gauge) Set(v int64) {
 	if g != nil {
-		g.v = v
+		g.v.Store(v)
 	}
 }
 
 // Add moves the value by delta.
 func (g *Gauge) Add(delta int64) {
 	if g != nil {
-		g.v += delta
+		g.v.Add(delta)
 	}
 }
 
@@ -233,7 +240,7 @@ func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return g.v.Load()
 }
 
 // HistogramMetric is a streaming summary (count, mean, max) handle.

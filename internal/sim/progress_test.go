@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+// TestProgressPublisherFiresPeriodically: the publisher ticks every
+// interval while work is queued.
+func TestProgressPublisherFiresPeriodically(t *testing.T) {
+	eng := NewEngine()
+	var fired []Cycle
+	StartProgressPublisher(eng, 10, func() { fired = append(fired, eng.Now()) })
+	// Real work out to cycle 35: publications land at 10, 20, 30.
+	for c := Cycle(5); c <= 35; c += 5 {
+		eng.At(c, func() {})
+	}
+	end := eng.Run()
+	if end != 35 {
+		t.Fatalf("run ended at %d, want 35 (publisher stretched the run)", end)
+	}
+	if len(fired) != 3 || fired[0] != 10 || fired[2] != 30 {
+		t.Fatalf("publications at %v, want [10 20 30]", fired)
+	}
+}
+
+// TestProgressPublisherNeverKeepsEngineAlive: with no real work, the
+// publisher alone does not run.
+func TestProgressPublisherNeverKeepsEngineAlive(t *testing.T) {
+	eng := NewEngine()
+	calls := 0
+	StartProgressPublisher(eng, 5, func() { calls++ })
+	if end := eng.Run(); end != 0 {
+		t.Fatalf("empty run advanced to cycle %d", end)
+	}
+	if calls != 0 {
+		t.Fatalf("publisher ran %d times with no work queued", calls)
+	}
+}
+
+func TestProgressPublisherValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero interval": func() { StartProgressPublisher(NewEngine(), 0, func() {}) },
+		"nil publish":   func() { StartProgressPublisher(NewEngine(), 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

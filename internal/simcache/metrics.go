@@ -1,0 +1,36 @@
+package simcache
+
+import "gpuwalk/internal/obs"
+
+// RegisterMetrics exposes the cache's live counters and store size on
+// a Prometheus family set under prefix (default "simcache"). The
+// families are callback-backed: every scrape reads the cache's own
+// counters under its mutex, so no shadow accounting can drift from
+// the truth. Register a cache on at most one set; families panic on
+// duplicate names.
+func (c *Cache) RegisterMetrics(fs *obs.FamilySet, prefix string) {
+	if prefix == "" {
+		prefix = "simcache"
+	}
+	fs.CounterFunc(prefix+"_hits_total",
+		"Result-cache lookups served from the store.",
+		func() float64 { return float64(c.Stats().Hits) })
+	fs.CounterFunc(prefix+"_misses_total",
+		"Result-cache lookups that missed (including integrity drops).",
+		func() float64 { return float64(c.Stats().Misses) })
+	fs.CounterFunc(prefix+"_puts_total",
+		"Results stored in the cache.",
+		func() float64 { return float64(c.Stats().Puts) })
+	fs.CounterFunc(prefix+"_evictions_total",
+		"Results evicted to respect the byte cap.",
+		func() float64 { return float64(c.Stats().Evictions) })
+	fs.CounterFunc(prefix+"_corrupt_total",
+		"Entries dropped for failing the payload integrity check.",
+		func() float64 { return float64(c.Stats().Corrupt) })
+	fs.GaugeFunc(prefix+"_entries",
+		"Results currently stored.",
+		func() float64 { return float64(c.Len()) })
+	fs.GaugeFunc(prefix+"_bytes",
+		"Total payload bytes currently stored.",
+		func() float64 { return float64(c.Size()) })
+}

@@ -1,0 +1,49 @@
+package simcache
+
+import (
+	"bytes"
+	"testing"
+
+	"gpuwalk/internal/obs"
+)
+
+func TestRegisterMetrics(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs := obs.NewFamilySet()
+	c.RegisterMetrics(fs, "gpuwalkd_cache")
+
+	if err := c.Put("abcd", []byte("payload-one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get("abcd"); err != nil || !ok {
+		t.Fatalf("Get(abcd) = %v, %v", ok, err)
+	}
+	if _, ok, err := c.Get("nope"); err != nil || ok {
+		t.Fatalf("Get(nope) = %v, %v", ok, err)
+	}
+
+	var buf bytes.Buffer
+	if err := fs.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prom, err := obs.ParsePromText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]float64{
+		"gpuwalkd_cache_hits_total":   1,
+		"gpuwalkd_cache_misses_total": 1,
+		"gpuwalkd_cache_puts_total":   1,
+		"gpuwalkd_cache_entries":      1,
+		"gpuwalkd_cache_bytes":        float64(len("payload-one")),
+	} {
+		got, ok := prom.Sample(key)
+		if !ok || got != want {
+			t.Fatalf("%s = %v (present=%v), want %v", key, got, ok, want)
+		}
+	}
+}

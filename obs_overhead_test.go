@@ -76,20 +76,22 @@ func TestObsDisabledOverhead(t *testing.T) {
 		t.Skip("timing-sensitive; skipped under -race")
 	}
 	const rounds = 5
-	minNs := func(hooked bool) float64 {
-		best := 0.0
-		for i := 0; i < rounds; i++ {
-			res := testing.Benchmark(func(b *testing.B) { admitPickLoop(b, hooked) })
-			ns := float64(res.NsPerOp())
-			if best == 0 || ns < best {
-				best = ns
-			}
-		}
-		return best
+	measure := func(hooked bool) float64 {
+		res := testing.Benchmark(func(b *testing.B) { admitPickLoop(b, hooked) })
+		return float64(res.NsPerOp())
 	}
-	base := minNs(false)
-	hooked := minNs(true)
-	ratio := hooked / base
+	// Measure in adjacent base/hooked pairs and keep the best ratio:
+	// machine-load swings (other test packages running in parallel)
+	// hit both halves of a pair alike, and one quiet round is enough
+	// for a clean reading — real per-op overhead would taint them all.
+	var base, hooked, ratio float64
+	for i := 0; i < rounds; i++ {
+		b := measure(false)
+		h := measure(true)
+		if r := h / b; ratio == 0 || r < ratio {
+			base, hooked, ratio = b, h, r
+		}
+	}
 	t.Logf("base %.1f ns/op, nil-tracer %.1f ns/op, ratio %.4f", base, hooked, ratio)
 	if ratio > 1.02 {
 		t.Errorf("disabled-tracer overhead %.2f%% exceeds 2%% budget", (ratio-1)*100)
