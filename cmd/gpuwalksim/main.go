@@ -43,6 +43,9 @@ func main() {
 		walkerKill = flag.Uint64("walker-kill", 0, "kill every Nth demand walk mid-walk, forcing re-dispatch (0 = off)")
 		pwcCorrupt = flag.Float64("pwc-corrupt", 0, "probability a PWC probe returns a corrupted walk-length estimate (0 = off)")
 		watchdog   = flag.Uint64("watchdog", 0, "fail with a queue dump if no progress for this many cycles (0 = off)")
+
+		fastWalker  = flag.Bool("fast-walker", false, "latency-model walker tier: fixed per-PTE-read latency, no DRAM contention (~2x faster, approximate; see README for the validated error bound)")
+		fastWalkLat = flag.Uint64("fast-walker-lat", 0, "per-PTE-read latency of the fast tier in cycles (0 = calibrated default)")
 	)
 	flag.Parse()
 
@@ -87,6 +90,8 @@ func main() {
 	cfg.FaultInject.WalkerKillPeriod = *walkerKill
 	cfg.FaultInject.PWCCorruptRate = *pwcCorrupt
 	cfg.IOMMU.Faults.ServiceLat = *faultLat
+	cfg.IOMMU.WalkerLatencyModel = *fastWalker
+	cfg.IOMMU.WalkerFixedLat = *fastWalkLat
 	cfg.WatchdogInterval = *watchdog
 
 	if *dumpConf != "" {

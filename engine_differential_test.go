@@ -1,0 +1,104 @@
+package gpuwalk_test
+
+import (
+	"testing"
+
+	"gpuwalk"
+	"gpuwalk/internal/gpu"
+)
+
+// runRecordedEngine is runRecorded with the event-queue selection
+// exposed: referenceEngine=true runs the whole system on the retained
+// container/heap queue instead of the flat four-ary heap.
+func runRecordedEngine(t *testing.T, cfg gpuwalk.Config, tr *gpuwalk.Trace, referenceEngine bool) (gpuwalk.Result, []string) {
+	t.Helper()
+	cfg.IOMMU.RecordSchedule = true
+	cfg.IOMMU.RecordLimit = 1 << 20
+	sys, err := gpu.NewSystem(gpu.Params{
+		GPU:             cfg.GPU,
+		DRAM:            cfg.DRAM,
+		IOMMU:           cfg.IOMMU,
+		SchedKind:       cfg.Scheduler,
+		SchedOpts:       cfg.SchedOpts,
+		Seed:            cfg.Seed,
+		FaultInject:     cfg.FaultInject,
+		ReferenceEngine: referenceEngine,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := sys.IOMMU().ScheduleLog()
+	out := make([]string, 0, len(log))
+	for _, w := range log {
+		out = append(out, walkKey(w.Walker, uint64(w.Start), uint64(w.End), uint64(w.Instr), w.VPN))
+	}
+	return res, out
+}
+
+// TestSystemDifferentialFlatVsReferenceEngine runs full simulations of
+// the four paper workloads, once on the flat four-ary event queue (the
+// default) and once on the retained container/heap reference engine,
+// and asserts the walk dispatch schedules — and the end-to-end cycle
+// counts — are byte-identical. This is the system-level proof that the
+// queue swap changed throughput, not behavior; any divergence here is a
+// release blocker, not a test to skip.
+func TestSystemDifferentialFlatVsReferenceEngine(t *testing.T) {
+	for _, wl := range []string{"MVT", "ATX", "GEV", "SSP"} {
+		cfg := microConfig()
+		cfg.Workload = wl
+		cfg.Scheduler = gpuwalk.SIMTAware
+		cfg.SchedOpts.AgingThreshold = 32
+		cfg.IOMMU.BufferEntries = 16
+		cfg.IOMMU.Walkers = 2
+		tr, err := gpuwalk.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRes, refLog := runRecordedEngine(t, cfg, tr, true)
+		flatRes, flatLog := runRecordedEngine(t, cfg, tr, false)
+		if len(refLog) == 0 {
+			t.Fatalf("%s: empty schedule log", wl)
+		}
+		compareLogs(t, wl+"/engine", refLog, flatLog)
+		if refRes.Cycles != flatRes.Cycles || refRes.StallCycles != flatRes.StallCycles {
+			t.Errorf("%s: cycles %d/%d vs reference engine %d/%d",
+				wl, flatRes.Cycles, flatRes.StallCycles, refRes.Cycles, refRes.StallCycles)
+		}
+		if refRes.IOMMU.WalksDone != flatRes.IOMMU.WalksDone {
+			t.Errorf("%s: walks %d vs reference engine %d",
+				wl, flatRes.IOMMU.WalksDone, refRes.IOMMU.WalksDone)
+		}
+	}
+}
+
+// TestSystemDifferentialEngineWithFaults repeats the engine check under
+// fault injection (walker kills, non-present PTEs), which exercises the
+// walk-state pool's abort/fault recycling paths and the fault queue's
+// retry/backoff events on both queues.
+func TestSystemDifferentialEngineWithFaults(t *testing.T) {
+	cfg := microConfig()
+	cfg.Workload = "SSP"
+	cfg.Scheduler = gpuwalk.FCFS
+	cfg.IOMMU.BufferEntries = 16
+	cfg.IOMMU.Walkers = 2
+	cfg.FaultInject.Seed = 5
+	cfg.FaultInject.NonPresentRate = 0.05
+	cfg.FaultInject.WalkerKillPeriod = 40
+	tr, err := gpuwalk.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, refLog := runRecordedEngine(t, cfg, tr, true)
+	flatRes, flatLog := runRecordedEngine(t, cfg, tr, false)
+	if len(refLog) == 0 {
+		t.Fatal("empty schedule log")
+	}
+	compareLogs(t, "SSP/engine-faults", refLog, flatLog)
+	if refRes.Cycles != flatRes.Cycles {
+		t.Errorf("cycles %d vs reference engine %d", flatRes.Cycles, refRes.Cycles)
+	}
+}

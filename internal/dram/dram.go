@@ -123,6 +123,7 @@ type channel struct {
 	busFreeAt sim.Cycle
 	tickAt    sim.Cycle // cycle of the pending tick event, valid if tickSet
 	tickSet   bool
+	tickFn    func() // bound runTick, so scheduling a tick allocates nothing
 }
 
 // Memory is the full DRAM system.
@@ -132,9 +133,30 @@ type Memory struct {
 	channels []channel
 	stats    Stats
 
+	// Same-cycle completion batching: batch is the most recently pushed
+	// completion event, still open for merging while batchAt matches the
+	// target cycle and the engine's Sequence() is still batchSeq (the
+	// witness that nothing else was scheduled since the batch event was
+	// pushed — see scheduleDone). batchPool recycles batch objects so
+	// steady-state completions allocate nothing.
+	batch     *completionBatch
+	batchAt   sim.Cycle
+	batchSeq  uint64
+	batchPool []*completionBatch
+
 	tr     *obs.Tracer // nil unless tracing; see SetTracer
 	trkCh  []obs.Track
 	qNames []string // per-channel counter-series names
+}
+
+// completionBatch is one engine event carrying the completion callbacks
+// of every access finishing on the same cycle that could be merged
+// without reordering. run is bound once at construction so scheduling a
+// batch allocates no closure.
+type completionBatch struct {
+	mem *Memory
+	fns []func()
+	run func()
 }
 
 // New builds a Memory on the given engine. It panics on invalid config;
@@ -147,9 +169,11 @@ func New(eng *sim.Engine, cfg Config) *Memory {
 	m.channels = make([]channel, cfg.Channels)
 	banksPerChan := cfg.RanksPerChan * cfg.BanksPerRank
 	for i := range m.channels {
-		m.channels[i].mem = m
-		m.channels[i].idx = i
-		m.channels[i].banks = make([]bank, banksPerChan)
+		c := &m.channels[i]
+		c.mem = m
+		c.idx = i
+		c.banks = make([]bank, banksPerChan)
+		c.tickFn = c.runTick
 	}
 	return m
 }
@@ -246,14 +270,15 @@ func (c *channel) scheduleTick(at sim.Cycle) {
 	}
 	c.tickAt = at
 	c.tickSet = true
-	eng := c.mem.eng
-	eng.At(at, func() {
-		// Only the most recently scheduled tick is live; stale ones
-		// (tickAt moved) fall through to tick anyway, which is safe
-		// because tick re-checks readiness.
-		c.tickSet = false
-		c.tick()
-	})
+	c.mem.eng.At(at, c.tickFn)
+}
+
+// runTick is the scheduled tick callback. Only the most recently
+// scheduled tick is live; stale ones (tickAt moved) fall through to
+// tick anyway, which is safe because tick re-checks readiness.
+func (c *channel) runTick() {
+	c.tickSet = false
+	c.tick()
 }
 
 // tick issues as many requests as can start now, then reschedules for the
@@ -392,10 +417,58 @@ func (c *channel) issue(idx int, now sim.Cycle) {
 			obs.Str("kind", kind), obs.U64("prio", prio))
 		c.mem.traceQueue(c)
 	}
-	done := r.done
-	c.mem.eng.At(doneAt, func() {
-		if done != nil {
-			done()
+	c.mem.scheduleDone(doneAt, r.done)
+}
+
+// scheduleDone arranges for done to be invoked at cycle at. Completions
+// landing on the same cycle are coalesced into one engine event when —
+// and only when — nothing else has been scheduled since that event was
+// pushed (the engine's Sequence() is unchanged). Under that condition
+// the merge provably preserves dispatch order: scheduled separately,
+// the new completion would receive the very next sequence number and so
+// dispatch immediately after the batch event with no other event able
+// to land between them; appending it to the batch runs it in exactly
+// that position. A nil done still schedules (or joins) the event, since
+// the pending completion is what keeps the engine alive to that cycle.
+func (m *Memory) scheduleDone(at sim.Cycle, done func()) {
+	if m.batch != nil && m.batchAt == at && m.eng.Sequence() == m.batchSeq {
+		m.batch.fns = append(m.batch.fns, done)
+		return
+	}
+	b := m.getBatch()
+	b.fns = append(b.fns, done)
+	m.batch = b
+	m.batchAt = at
+	m.eng.At(at, b.run)
+	m.batchSeq = m.eng.Sequence()
+}
+
+// getBatch takes a completion batch from the pool, or builds one with
+// its run closure pre-bound.
+func (m *Memory) getBatch() *completionBatch {
+	if n := len(m.batchPool); n > 0 {
+		b := m.batchPool[n-1]
+		m.batchPool = m.batchPool[:n-1]
+		return b
+	}
+	b := &completionBatch{mem: m}
+	b.run = func() {
+		mem := b.mem
+		// Close the batch before running callbacks: a callback may issue
+		// new accesses completing this same cycle, and those must go into
+		// a fresh (not yet dispatched) event.
+		if mem.batch == b {
+			mem.batch = nil
 		}
-	})
+		fns := b.fns
+		for i, fn := range fns {
+			fns[i] = nil // release for GC before reuse
+			if fn != nil {
+				fn()
+			}
+		}
+		b.fns = fns[:0]
+		mem.batchPool = append(mem.batchPool, b)
+	}
+	return b
 }

@@ -260,21 +260,21 @@ func (io *IOMMU) retryWalk(r *core.Request) {
 	io.enqueueRequest(r, 0)
 }
 
-// abortWalk handles an injected walker death mid-walk: the PTE reads
-// already performed are wasted, the walker returns to the pool, and
-// the request re-enters the pipeline with a fresh arrival position.
-// Only demand walks are killed (the injector draws at demand
-// dispatch), so there is no prefetch case here.
-func (io *IOMMU) abortWalk(w *walkState) {
-	r := w.r
-	io.releaseWalker(r, "walk-killed", w.done)
+// abortWalk handles an injected walker death mid-walk: the wasted PTE
+// reads are logged, the walker returns to the pool, and the request
+// re-enters the pipeline with a fresh arrival position. Only demand
+// walks are killed (the injector draws at demand dispatch), so there
+// is no prefetch case here. The caller has already returned the
+// walkState to the pool, so this takes the surviving fields directly.
+func (io *IOMMU) abortWalk(r *core.Request, wasted int) {
+	io.releaseWalker(r, "walk-killed", wasted)
 	io.idleWalkers++
 	io.busyInt.Add(io.eng.Now(), -1)
 	io.stats.WalkerKills++
 	if tr := io.tr; tr != nil {
 		tr.Instant(io.trkFault, "fault", "walker-kill",
 			obs.U64("seq", r.Seq), obs.U64("vpn", r.VPN),
-			obs.U64("instr", uint64(r.Instr)), obs.U64("wasted", uint64(w.done)))
+			obs.U64("instr", uint64(r.Instr)), obs.U64("wasted", uint64(wasted)))
 	}
 	io.walkerFreed()
 	io.retryWalk(r)

@@ -63,6 +63,17 @@ type Config struct {
 	// memory controller rejected (full queue).
 	RetryDelay uint64
 
+	// WalkerLatencyModel selects the fast approximate walker tier: each
+	// PTE read completes after a fixed WalkerFixedLat cycles instead of
+	// going through the contended DRAM model. Everything else — PWC,
+	// TLBs, walker occupancy, scheduling, fault handling — is unchanged,
+	// so relative scheduling effects survive while sweeps run 10-100x
+	// cheaper. Off by default: the full model stays the reference.
+	WalkerLatencyModel bool
+	// WalkerFixedLat is the per-PTE-read latency of the latency-model
+	// tier, in cycles (0 = DefaultWalkerFixedLat).
+	WalkerFixedLat uint64
+
 	// RecordSchedule keeps a log of (walker, start, end, instruction)
 	// for every serviced walk, capped at RecordLimit entries. Used by
 	// the Figure 4 timeline demo and debugging; off by default.
@@ -82,6 +93,15 @@ type Config struct {
 	// Inert until a handler or injector is attached via SetFaultModel.
 	Faults FaultConfig
 }
+
+// DefaultWalkerFixedLat is the latency-model tier's default per-PTE-read
+// latency. An uncontended DRAM row miss in the baseline configuration
+// costs 86 cycles (TCtrl 20 + TRCD 28 + TCAS 28 + TBurst 10); the
+// default adds a calibrated allowance for queueing, chosen by sweeping
+// the value against the full model on the four paper workloads
+// (TestLatencyTierValidation) — 180 minimized the worst-case cycle and
+// walk-latency error there.
+const DefaultWalkerFixedLat = 180
 
 // DefaultConfig returns the Table I baseline IOMMU.
 func DefaultConfig() Config {
@@ -254,6 +274,13 @@ type IOMMU struct {
 	instrs map[core.InstrID]*instrInfo
 	stats  Stats
 
+	// walkPool recycles walkState objects (with their pre-bound
+	// callback closures and PTE-address buffers) so steady-state walks
+	// allocate nothing; fixedLat is the resolved latency-model tier
+	// per-read latency.
+	walkPool []*walkState
+	fixedLat uint64
+
 	busyInt sim.Integrator // busy walkers over time
 
 	// freeWalkers/walkStart track walker identities whenever the
@@ -322,6 +349,10 @@ func New(eng *sim.Engine, cfg Config, sched core.Scheduler, pt *mmu.PageTable, d
 	}
 	if ix, ok := sched.(core.IndexedScheduler); ok {
 		io.ix = ix
+	}
+	io.fixedLat = cfg.WalkerFixedLat
+	if io.fixedLat == 0 {
+		io.fixedLat = DefaultWalkerFixedLat
 	}
 	io.trackWalkers = cfg.RecordSchedule
 	for i := cfg.Walkers - 1; i >= 0; i-- {
@@ -686,19 +717,11 @@ func (io *IOMMU) startWalk(r *core.Request) {
 		}
 	}
 
-	io.eng.After(io.cfg.PWCLat, func() {
-		vpn4k := io.vpn4k(r.VPN)
-		path, faulted := io.pt.WalkPathFault(vpn4k)
-		n := io.pwc.LookupN(vpn4k, len(path)-1)
-		if n < 1 || n > len(path) {
-			panic("iommu: PWC returned invalid access count")
-		}
-		w := &walkState{r: r, addrs: path[len(path)-n:], total: n, faulted: faulted, killAfter: -1}
-		if kill {
-			w.killAfter = 1 // the walker dies after its first PTE read
-		}
-		io.issueWalkAccess(w)
-	})
+	w := io.getWalk(r)
+	if kill {
+		w.killAfter = 1 // the walker dies after its first PTE read
+	}
+	io.eng.After(io.cfg.PWCLat, w.beginFn)
 }
 
 // vpn4k converts a request VPN (at the configured page granularity) to
@@ -711,44 +734,115 @@ func (io *IOMMU) vpn4k(vpn uint64) uint64 {
 }
 
 // walkState tracks one in-flight walk through its dependent PTE reads,
-// including fault discovery and injected walker death.
+// including fault discovery and injected walker death. States are
+// pooled (getWalk/putWalk): the callback closures are bound once at
+// construction and the PTE addresses live in the inline buf array, so
+// a steady-state walk performs no allocations at all.
 type walkState struct {
+	io        *IOMMU
 	r         *core.Request
-	addrs     []uint64 // remaining PTE reads
-	total     int      // reads a full walk performs
-	done      int      // reads completed so far
-	faulted   bool     // the final read finds a non-present PTE
-	killAfter int      // abort after this many reads (-1 = never)
+	addrs     []uint64 // remaining PTE reads (slice into buf)
+	buf       [mmu.Levels]uint64
+	total     int  // reads a full walk performs
+	done      int  // reads completed so far
+	faulted   bool // the final read finds a non-present PTE
+	killAfter int  // abort after this many reads (-1 = never)
+
+	beginFn func() // bound w.begin: PWC-latency callback
+	stepFn  func() // bound w.step: per-PTE-read completion callback
+	retryFn func() // bound retry: re-issue after a DRAM NACK
+}
+
+// getWalk takes a walkState from the pool (or builds one with its
+// closures pre-bound) and resets it for request r.
+func (io *IOMMU) getWalk(r *core.Request) *walkState {
+	var w *walkState
+	if n := len(io.walkPool); n > 0 {
+		w = io.walkPool[n-1]
+		io.walkPool = io.walkPool[:n-1]
+	} else {
+		w = &walkState{io: io}
+		w.beginFn = w.begin
+		w.stepFn = w.step
+		w.retryFn = func() { w.io.issueWalkAccess(w) }
+	}
+	w.r = r
+	w.addrs = nil
+	w.total = 0
+	w.done = 0
+	w.faulted = false
+	w.killAfter = -1
+	return w
+}
+
+// putWalk returns a terminal walkState to the pool. Callers must have
+// captured every field they still need: the state may be reissued to a
+// new walk before the caller's next statement runs (finishWalk can
+// start the next walk synchronously).
+func (io *IOMMU) putWalk(w *walkState) {
+	w.r = nil
+	w.addrs = nil
+	io.walkPool = append(io.walkPool, w)
+}
+
+// begin runs after the PWC-lookup latency: it resolves the walk's PTE
+// read list (into the state's inline buffer), consults the PWC for how
+// many reads remain, and starts the read chain.
+func (w *walkState) begin() {
+	io := w.io
+	vpn4k := io.vpn4k(w.r.VPN)
+	path, faulted := io.pt.WalkPathFaultInto(vpn4k, w.buf[:0])
+	n := io.pwc.LookupN(vpn4k, len(path)-1)
+	if n < 1 || n > len(path) {
+		panic("iommu: PWC returned invalid access count")
+	}
+	w.addrs = path[len(path)-n:]
+	w.total = n
+	w.faulted = faulted
+	io.issueWalkAccess(w)
+}
+
+// step is the completion callback of one PTE read.
+func (w *walkState) step() {
+	w.done++
+	w.addrs = w.addrs[1:]
+	w.io.issueWalkAccess(w)
 }
 
 // issueWalkAccess performs the remaining PTE reads sequentially; each
 // read depends on the previous one's result, as in a real radix walk.
 // Between reads it honours an injected walker kill, and after the last
-// read it routes a non-present leaf to the page-fault path.
+// read it routes a non-present leaf to the page-fault path. Under the
+// latency-model tier each read completes after a fixed latency instead
+// of going through the DRAM model; every other transition is shared.
 func (io *IOMMU) issueWalkAccess(w *walkState) {
 	if w.killAfter >= 0 && w.done >= w.killAfter {
-		io.abortWalk(w)
+		r, wasted := w.r, w.done
+		io.putWalk(w)
+		io.abortWalk(r, wasted)
 		return
 	}
 	if len(w.addrs) == 0 {
-		if w.faulted {
-			io.pageFault(w.r, w.done)
+		r, total, done, faulted := w.r, w.total, w.done, w.faulted
+		io.putWalk(w)
+		if faulted {
+			io.pageFault(r, done)
 			return
 		}
-		io.finishWalk(w.r, w.total)
+		io.finishWalk(r, total)
 		return
 	}
-	ok := io.dram(w.addrs[0], func() {
-		w.done++
-		w.addrs = w.addrs[1:]
-		io.issueWalkAccess(w)
-	})
+	if io.cfg.WalkerLatencyModel {
+		io.eng.After(io.fixedLat, w.stepFn)
+		return
+	}
+	ok := io.dram(w.addrs[0], w.stepFn)
 	if !ok {
 		d := io.cfg.RetryDelay
 		if d == 0 {
 			d = 8
 		}
-		io.eng.After(d, func() { io.issueWalkAccess(w) })
+		io.eng.After(d, w.retryFn)
 	}
 }
 

@@ -151,7 +151,13 @@ func (pt *PageTable) WalkPath(vpn uint64) []uint64 {
 // the fault. For a fully mapped vpn the path and semantics match
 // WalkPath exactly.
 func (pt *PageTable) WalkPathFault(vpn uint64) (path []uint64, fault bool) {
-	out := make([]uint64, 0, Levels)
+	return pt.WalkPathFaultInto(vpn, make([]uint64, 0, Levels))
+}
+
+// WalkPathFaultInto is WalkPathFault appending into a caller-supplied
+// buffer (typically buf[:0] over a [Levels]uint64 array), so hot walk
+// paths reuse one buffer per walk instead of allocating.
+func (pt *PageTable) WalkPathFaultInto(vpn uint64, out []uint64) (path []uint64, fault bool) {
 	tbl := pt.root
 	for level := 0; level < Levels; level++ {
 		addr := tbl + levelIndex(vpn, level)*PTESize

@@ -5,6 +5,25 @@
 // simulation bit-for-bit reproducible. All timing in gpuwalk is expressed
 // in GPU core cycles (2 GHz in the baseline configuration, so one cycle
 // is 0.5 ns).
+//
+// # Queue internals
+//
+// The event queue is a flat four-ary min-heap specialized to the event
+// struct. The previous implementation drove container/heap, whose
+// Push(any)/Pop() any interface boxes every event through the heap —
+// one allocation per scheduled event and an interface unbox per
+// dispatch, which profiling showed dominated whole-simulation CPU time.
+// The flat heap stores events inline in one slice, sifts with a hole
+// (one write per level instead of a three-write swap), and the four-ary
+// fanout halves the tree depth that pop-side sift-down traverses, at
+// the cost of up to four comparisons per level — a good trade because
+// the comparisons stay within one or two cache lines.
+//
+// The container/heap implementation is retained behind
+// NewReferenceEngine. It is not dead code: the ordering property test
+// (order_test.go) and the system-level differential tests prove the
+// flat heap dispatches in byte-identical (cycle, seq) order to it, and
+// the BENCH_sim benchmark measures the speedup against it.
 package sim
 
 import "container/heap"
@@ -23,17 +42,21 @@ type event struct {
 	daemon bool
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
+// before is the queue ordering: (cycle, insertion seq).
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is the retained container/heap reference implementation: a
+// binary min-heap ordered by (at, seq). See the package comment.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Less(i, j int) bool { return h[i].before(h[j]) }
 
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
@@ -48,12 +71,20 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// heapArity is the fanout of the flat heap. Four keeps sift-down depth
+// at half a binary heap's while a node's children still span at most
+// two cache lines (an event is 32 bytes).
+const heapArity = 4
+
 // Engine is a discrete-event simulator clock and event queue.
 // The zero value is ready to use.
 type Engine struct {
 	now    Cycle
 	seq    uint64
-	events eventHeap
+	events []event // min-heap (flat four-ary, or binary when ref)
+	// ref selects the container/heap reference queue algorithm; see
+	// NewReferenceEngine. Both layouts keep the minimum at events[0].
+	ref bool
 	// dispatched counts events executed since construction; useful for
 	// progress reporting and runaway detection in tests.
 	dispatched uint64
@@ -66,11 +97,89 @@ type Engine struct {
 // NewEngine returns an engine with clock at cycle 0.
 func NewEngine() *Engine { return &Engine{} }
 
+// NewReferenceEngine returns an engine whose queue is the original
+// container/heap implementation. Its dispatch order is byte-identical
+// to NewEngine's flat heap — the ordering property test and the
+// system-level differential tests pin that — and it exists so those
+// tests and the BENCH_sim benchmark always have the reference to
+// compare against.
+func NewReferenceEngine() *Engine { return &Engine{ref: true} }
+
+// push inserts ev into the queue.
+func (e *Engine) push(ev event) {
+	if e.ref {
+		heap.Push((*eventHeap)(&e.events), ev)
+		return
+	}
+	e.events = append(e.events, ev)
+	// Sift up with a hole: shift parents down until ev's slot is found,
+	// writing ev once instead of swapping at every level.
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !ev.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+// pop removes and returns the minimum event.
+func (e *Engine) pop() event {
+	if e.ref {
+		return heap.Pop((*eventHeap)(&e.events)).(event)
+	}
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release fn for GC
+	e.events = h[:n]
+	if n > 0 {
+		// Sift last down from the root with a hole.
+		h = e.events
+		i := 0
+		for {
+			c := i*heapArity + 1
+			if c >= n {
+				break
+			}
+			end := c + heapArity
+			if end > n {
+				end = n
+			}
+			m := c
+			for c++; c < end; c++ {
+				if h[c].before(h[m]) {
+					m = c
+				}
+			}
+			if !h[m].before(last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
+
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
 // Dispatched returns the number of events executed so far.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// Sequence returns the number of events ever scheduled. Two calls
+// bracketing a stretch of model code return the same value iff nothing
+// was scheduled in between; the DRAM model uses that as the witness
+// that coalescing a new same-cycle completion onto the previously
+// pushed batch event preserves dispatch order exactly.
+func (e *Engine) Sequence() uint64 { return e.seq }
 
 // Pending returns the number of queued events that keep the simulation
 // alive. Daemon events are excluded: a model is drained when Pending
@@ -85,13 +194,21 @@ func (e *Engine) At(c Cycle, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: c, seq: e.seq, fn: fn})
+	e.push(event{at: c, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now. After(0, fn) runs fn later
-// on the current cycle, after all callbacks scheduled before it.
+// on the current cycle, after all callbacks scheduled before it. A delay
+// so large that now+d wraps the Cycle type panics (the same guard
+// AfterDaemon has): silently wrapping would either schedule the event
+// absurdly early or trip At's scheduled-in-the-past panic with a message
+// blaming the wrong bug.
 func (e *Engine) After(d uint64, fn func()) {
-	e.At(e.now+Cycle(d), fn)
+	c := e.now + Cycle(d)
+	if c < e.now {
+		panic("sim: event cycle overflow")
+	}
+	e.At(c, fn)
 }
 
 // AfterDaemon schedules fn like After, but as a daemon: it fires only
@@ -100,11 +217,12 @@ func (e *Engine) After(d uint64, fn func()) {
 // observers (watchdog checks) that must never extend a simulation past
 // its real work or hold it alive.
 func (e *Engine) AfterDaemon(d uint64, fn func()) {
-	if e.now+Cycle(d) < e.now {
+	c := e.now + Cycle(d)
+	if c < e.now {
 		panic("sim: daemon event cycle overflow")
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: e.now + Cycle(d), seq: e.seq, fn: fn, daemon: true})
+	e.push(event{at: c, seq: e.seq, fn: fn, daemon: true})
 	e.daemons++
 }
 
@@ -126,7 +244,7 @@ func (e *Engine) Step() bool {
 	if e.aborted || len(e.events) == e.daemons {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	if ev.daemon {
 		e.daemons--
 	}

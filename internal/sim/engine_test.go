@@ -94,6 +94,60 @@ func TestEnginePastPanics(t *testing.T) {
 	e.Run()
 }
 
+// TestEngineAfterOverflowPanics is the regression test for the cycle
+// overflow bug: After with a delay huge enough to wrap the Cycle type
+// used to wrap past Now and panic inside At with the misleading "event
+// scheduled in the past" (or, worse, wrap to a plausible future cycle
+// and silently reorder time). It must panic with the overflow message,
+// like AfterDaemon always has.
+func TestEngineAfterOverflowPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run() // advance the clock so now > 0
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("After with a wrapping delay did not panic")
+		}
+		if msg, ok := r.(string); !ok || msg != "sim: event cycle overflow" {
+			t.Fatalf("panic = %v, want the cycle-overflow message", r)
+		}
+	}()
+	e.After(^uint64(0), func() {})
+}
+
+// TestEngineAfterOverflowWrapsPastNow covers a wrap that lands close
+// below now, where the old code fell through to At and blamed a
+// non-existent scheduled-in-the-past model bug. (A wrapped cycle always
+// lands below now — overflow means c = d - (2^64 - now) <= now-1 — so
+// the c < now guard in After catches every overflow.)
+func TestEngineAfterOverflowWrapsPastNow(t *testing.T) {
+	e := NewEngine()
+	e.At(1000, func() {})
+	e.Run()
+	defer func() {
+		r := recover()
+		if msg, ok := r.(string); !ok || msg != "sim: event cycle overflow" {
+			t.Fatalf("panic = %v, want the cycle-overflow message, not the in-the-past one", r)
+		}
+	}()
+	// now + delay wraps to cycle 500 = now-500.
+	e.After(^uint64(0)-499, func() {})
+}
+
+func TestEngineAfterDaemonOverflowPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		r := recover()
+		if msg, ok := r.(string); !ok || msg != "sim: daemon event cycle overflow" {
+			t.Fatalf("panic = %v, want the daemon cycle-overflow message", r)
+		}
+	}()
+	e.AfterDaemon(^uint64(0), func() {})
+}
+
 func TestRunUntil(t *testing.T) {
 	e := NewEngine()
 	ran := 0

@@ -122,30 +122,49 @@ func (c *Cache) loadIndex() error {
 
 // rebuildIndex reconstructs the index from the object files themselves.
 // Recovered entries get fresh digests (computed from the payloads) and
-// arbitrary-but-deterministic LRU order (sorted by key).
+// an LRU order recovered from the object files' modification times,
+// oldest first (ties broken by key for determinism). Key-sorted order
+// here would be an eviction bug: after an index loss, a hot entry whose
+// key happens to sort first would be evicted before cold ones.
 func (c *Cache) rebuildIndex() error {
 	c.entries = make(map[string]*entry)
 	c.seq, c.size = 0, 0
 	root := filepath.Join(c.dir, objectsDir)
-	var keys []string
+	type found struct {
+		key   string
+		mtime int64
+	}
+	var objs []found
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
 			return err
 		}
-		keys = append(keys, strings.TrimSuffix(d.Name(), ".json"))
+		fi, err := d.Info()
+		if err != nil {
+			return nil // vanished mid-walk: skip
+		}
+		objs = append(objs, found{
+			key:   strings.TrimSuffix(d.Name(), ".json"),
+			mtime: fi.ModTime().UnixNano(),
+		})
 		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("simcache: rebuilding index: %w", err)
 	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		b, err := os.ReadFile(c.objectPath(key))
+	sort.Slice(objs, func(i, j int) bool {
+		if objs[i].mtime != objs[j].mtime {
+			return objs[i].mtime < objs[j].mtime
+		}
+		return objs[i].key < objs[j].key
+	})
+	for _, o := range objs {
+		b, err := os.ReadFile(c.objectPath(o.key))
 		if err != nil {
 			continue
 		}
 		c.seq++
-		c.entries[key] = &entry{Key: key, Size: int64(len(b)), Seq: c.seq, Digest: PayloadDigest(b)}
+		c.entries[o.key] = &entry{Key: o.key, Size: int64(len(b)), Seq: c.seq, Digest: PayloadDigest(b)}
 		c.size += int64(len(b))
 	}
 	c.dirty = true

@@ -287,3 +287,54 @@ func hasTempFile(root string) bool {
 	})
 	return found
 }
+
+// TestRebuildRecencyFromMtimes is the regression test for the
+// rebuild-eviction bug: rebuildIndex used to reset LRU recency to
+// key-sorted order, so after an index loss the entry whose key happened
+// to sort first was evicted first regardless of how recently it was
+// used. The rebuilt order must come from object mtimes instead: the
+// entry touched longest ago is the eviction victim.
+func TestRebuildRecencyFromMtimes(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{})
+	// Keys chosen so the buggy key-sorted recovery would evict the HOT
+	// entry ("aa…" sorts before "zz…" and got the oldest seq).
+	hot, cold := "aahot-entry", "zzcold-entry"
+	if err := c.Put(cold, []byte("cold-data!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(hot, []byte("hot-data!!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Stamp mtimes explicitly: filesystems may round timestamps, and the
+	// test must not depend on Put wall-clock spacing.
+	base := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(c.objectPath(cold), base, base); err != nil {
+		t.Fatal(err)
+	}
+	later := base.Add(10 * time.Minute)
+	if err := os.Chtimes(c.objectPath(hot), later, later); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the index is lost, only the objects survive.
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with a cap that forces one eviction on the next Put.
+	c2 := open(t, dir, Options{MaxBytes: 25})
+	if c2.Len() != 2 {
+		t.Fatalf("rebuilt cache has %d entries, want 2", c2.Len())
+	}
+	if err := c2.Put("newcomer-xy", []byte("new-data!!")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c2.Get(cold); ok {
+		t.Fatal("cold entry survived eviction after rebuild")
+	}
+	if _, ok, _ := c2.Get(hot); !ok {
+		t.Fatal("hot (recently used) entry was evicted after rebuild: recency not recovered from mtimes")
+	}
+}
