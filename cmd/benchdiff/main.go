@@ -1,13 +1,18 @@
 // Command benchdiff compares a freshly measured benchmark JSON file
-// against a committed baseline and fails when a lower-is-better metric
-// regressed past a threshold. It understands the flat JSON objects the
-// repo's timing tests write (BENCH_cache.json and friends): string
-// metadata plus float64 metrics.
+// against a committed baseline and fails when a metric regressed past
+// a threshold. It understands the flat JSON objects the repo's timing
+// tests and load harness write (BENCH_cache.json, BENCH_load.json and
+// friends): string metadata plus float64 metrics.
+//
+// Metrics are lower-is-better by default; prefix a name with "higher:"
+// for throughput-style metrics where a *drop* is the regression.
 //
 //	go test -run TestBenchCacheColdWarm .            # writes BENCH_cache.json
 //	BENCH_CACHE_OUT=/tmp/fresh.json go test -run TestBenchCacheColdWarm .
 //	benchdiff -base BENCH_cache.json -new /tmp/fresh.json \
 //	    -metrics cold_seconds,warm_seconds -threshold 0.5
+//	benchdiff -base BENCH_load.json -new /tmp/load.json \
+//	    -metrics submit_p99_ms,higher:achieved_qps
 //
 // Exit status: 0 when every compared metric is within threshold (or
 // improved), 1 on a regression, 2 on usage or file errors. Timing on
@@ -35,7 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		base      = fs.String("base", "BENCH_cache.json", "committed baseline JSON file")
 		fresh     = fs.String("new", "", "freshly measured JSON file (required)")
-		metrics   = fs.String("metrics", "cold_seconds,warm_seconds", "comma-separated lower-is-better metrics to compare")
+		metrics   = fs.String("metrics", "cold_seconds,warm_seconds", "comma-separated metrics to compare (lower-is-better unless prefixed with higher:)")
 		threshold = fs.Float64("threshold", 0.5, "allowed fractional slowdown before failing (0.5 = +50%)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,23 +70,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	regressions := 0
 	for _, name := range splitMetrics(*metrics) {
-		bv, bok := baseDoc.numbers[name]
-		nv, nok := newDoc.numbers[name]
+		// "higher:achieved_qps" inverts the comparison: the metric is
+		// higher-is-better, so a drop past the threshold is the
+		// regression. The prefix is compare-time only; the JSON key has
+		// no prefix.
+		key, higher := strings.CutPrefix(name, "higher:")
+		bv, bok := baseDoc.numbers[key]
+		nv, nok := newDoc.numbers[key]
 		switch {
 		case !bok || !nok:
-			fmt.Fprintf(stderr, "benchdiff: metric %q missing (base present=%v, new present=%v)\n", name, bok, nok)
+			fmt.Fprintf(stderr, "benchdiff: metric %q missing (base present=%v, new present=%v)\n", key, bok, nok)
 			return 2
 		case bv <= 0:
-			fmt.Fprintf(stdout, "%-14s base %.3f: skipped (non-positive baseline)\n", name, bv)
+			fmt.Fprintf(stdout, "%-14s base %.3f: skipped (non-positive baseline)\n", key, bv)
 		default:
 			delta := (nv - bv) / bv
+			adverse := delta
+			if higher {
+				adverse = -delta
+			}
 			verdict := "ok"
-			if delta > *threshold {
+			if adverse > *threshold {
 				verdict = "REGRESSION"
 				regressions++
 			}
 			fmt.Fprintf(stdout, "%-14s base %8.3f  new %8.3f  %+7.1f%%  %s\n",
-				name, bv, nv, delta*100, verdict)
+				key, bv, nv, delta*100, verdict)
 		}
 	}
 	if regressions > 0 {

@@ -59,6 +59,31 @@ func TestImprovementPasses(t *testing.T) {
 	}
 }
 
+func TestHigherIsBetterInverts(t *testing.T) {
+	base := writeBench(t, "base.json", baseDoc)
+
+	// speedup dropped 200 -> 80: a >50% loss on a higher-is-better
+	// metric must regress even though the raw delta is negative.
+	fresh := writeBench(t, "new.json", `{"model_version":"v4","speedup":80}`)
+	code, out, _ := runDiff(t, "-base", base, "-new", fresh, "-metrics", "higher:speedup", "-threshold", "0.5")
+	if code != 1 {
+		t.Fatalf("throughput drop: exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "speedup") {
+		t.Fatalf("report:\n%s", out)
+	}
+
+	// speedup rose 200 -> 400: a gain must pass, however large —
+	// without the prefix the same file regresses.
+	fresh = writeBench(t, "up.json", `{"model_version":"v4","speedup":400}`)
+	if code, out, _ := runDiff(t, "-base", base, "-new", fresh, "-metrics", "higher:speedup", "-threshold", "0.5"); code != 0 {
+		t.Fatalf("throughput gain: exit = %d, want 0\n%s", code, out)
+	}
+	if code, _, _ := runDiff(t, "-base", base, "-new", fresh, "-metrics", "speedup", "-threshold", "0.5"); code != 1 {
+		t.Fatalf("same delta without higher: prefix should regress, got exit %d", code)
+	}
+}
+
 func TestModelVersionMismatchNoted(t *testing.T) {
 	base := writeBench(t, "base.json", baseDoc)
 	fresh := writeBench(t, "new.json", `{"model_version":"v5","cold_seconds":2.0,"warm_seconds":0.01}`)

@@ -1,0 +1,430 @@
+// Command gpuwalkbench load-tests a running gpuwalkd with an
+// open-loop, coordinated-omission-safe workload (see internal/loadgen
+// and docs/LOADTEST.md). Each operation POSTs a small simulation spec
+// drawn from a fixed population by a YCSB-style key generator, so key
+// skew maps directly onto result-cache locality; latency is measured
+// against each op's *intended* start time, which is what keeps queue
+// stalls from being silently dropped from the tail.
+//
+//	gpuwalkd -addr :8077 &
+//	gpuwalkbench -addr http://127.0.0.1:8077 -qps 200 -ops 2000 -dist zipfian -theta 0.99
+//
+// Besides the main run it can measure a cache-locality curve across
+// zipfian skews (-skews) and a saturation sweep across QPS steps
+// (-sweep), and writes everything as a flat-metric JSON file
+// (BENCH_load.json) that cmd/benchdiff can compare against a committed
+// baseline.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpuwalk"
+	"gpuwalk/internal/atomicio"
+	"gpuwalk/internal/jobd"
+	"gpuwalk/internal/loadgen"
+	"gpuwalk/internal/xrand"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// benchFlags is the parsed command line.
+type benchFlags struct {
+	addr    string
+	qps     float64
+	ops     int
+	keys    int
+	dist    string
+	theta   float64
+	hotFrac float64
+	hotOp   float64
+	expMean float64
+	seed    uint64
+	maxOut  int
+	sseEach int
+
+	workload   string
+	scale      float64
+	wavefronts int
+	instrs     int
+
+	skews   string
+	skewOps int
+	sweep   string
+
+	waitTimeout time.Duration
+	out         string
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gpuwalkbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var f benchFlags
+	fs.StringVar(&f.addr, "addr", "http://127.0.0.1:8077", "gpuwalkd base URL (scheme optional)")
+	fs.Float64Var(&f.qps, "qps", 200, "target submissions per second (open loop)")
+	fs.IntVar(&f.ops, "ops", 1000, "operations in the main run")
+	fs.IntVar(&f.keys, "keys", 100, "distinct specs in the population")
+	fs.StringVar(&f.dist, "dist", "zipfian", "key distribution: zipfian, uniform, hotspot or exponential")
+	fs.Float64Var(&f.theta, "theta", 0.99, "zipfian skew, in (0,1)")
+	fs.Float64Var(&f.hotFrac, "hot-frac", 0.1, "hotspot: fraction of keys that are hot")
+	fs.Float64Var(&f.hotOp, "hot-op-frac", 0.8, "hotspot: fraction of ops hitting the hot set")
+	fs.Uint64Var(&f.seed, "seed", 1, "PRNG seed; same seed, same key sequence")
+	fs.IntVar(&f.maxOut, "max-outstanding", 512, "max concurrent in-flight submissions")
+	fs.IntVar(&f.sseEach, "sse-every", 10, "sample SSE time-to-first-progress on every Nth op (0 = off)")
+	fs.Float64Var(&f.expMean, "exp-mean", 10, "exponential: mean key rank")
+	fs.StringVar(&f.workload, "workload", "MVT", "simulated workload abbreviation in every spec")
+	fs.Float64Var(&f.scale, "scale", 0.02, "spec footprint scale (tiny keeps per-job sim cheap)")
+	fs.IntVar(&f.wavefronts, "wavefronts", 2, "spec wavefronts per CU")
+	fs.IntVar(&f.instrs, "instrs", 6, "spec instructions per wavefront")
+	fs.StringVar(&f.skews, "skews", "0.2,0.6,0.99", "comma-separated zipfian thetas for the cache-locality curve ('' = skip)")
+	fs.IntVar(&f.skewOps, "skew-ops", 0, "ops per skew point (0 = same as -ops)")
+	fs.StringVar(&f.sweep, "sweep", "", "comma-separated QPS steps for the saturation sweep ('' = skip)")
+	fs.DurationVar(&f.waitTimeout, "wait-timeout", 2*time.Minute, "per-phase deadline (run + drain)")
+	fs.StringVar(&f.out, "out", "BENCH_load.json", "metrics JSON output path ('' = don't write)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if f.qps <= 0 || f.ops <= 0 || f.keys <= 0 {
+		fmt.Fprintln(stderr, "gpuwalkbench: -qps, -ops and -keys must be positive")
+		return 2
+	}
+	if f.skewOps <= 0 {
+		f.skewOps = f.ops
+	}
+	if !strings.Contains(f.addr, "://") {
+		f.addr = "http://" + f.addr
+	}
+
+	client := &jobd.Client{BaseURL: f.addr}
+	if err := checkHealth(client, f.addr); err != nil {
+		fmt.Fprintf(stderr, "gpuwalkbench: %v\n", err)
+		return 1
+	}
+
+	b := &bench{f: f, client: client, stdout: stdout}
+	if err := b.runAll(); err != nil {
+		fmt.Fprintf(stderr, "gpuwalkbench: %v\n", err)
+		return 1
+	}
+
+	if f.out != "" {
+		metrics := b.metrics()
+		err := atomicio.WriteFile(f.out, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(metrics)
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "gpuwalkbench: writing %s: %v\n", f.out, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", f.out)
+	}
+	return 0
+}
+
+func checkHealth(c *jobd.Client, addr string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(addr, "/")+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("server unreachable at %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server at %s is not healthy: %s", addr, resp.Status)
+	}
+	return nil
+}
+
+// bench accumulates each phase's measurements.
+type bench struct {
+	f      benchFlags
+	client *jobd.Client
+	stdout io.Writer
+
+	// salt makes each sub-run's spec population disjoint from every
+	// other's, so each phase measures a cold cache warming under its own
+	// key distribution rather than inheriting earlier phases' entries.
+	salt uint64
+
+	main     outcome
+	skewPts  []skewPoint
+	sweepPts []sweepPoint
+}
+
+type outcome struct {
+	rep *loadgen.Report
+	fin loadgen.TargetStats
+}
+
+type skewPoint struct {
+	Theta        float64 `json:"theta"`
+	Ops          int     `json:"ops"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	P99Ms        float64 `json:"submit_p99_ms"`
+	AchievedQPS  float64 `json:"achieved_qps"`
+}
+
+type sweepPoint struct {
+	TargetQPS   float64 `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Rejected    int     `json:"rejected"`
+	P99Ms       float64 `json:"submit_p99_ms"`
+}
+
+func (b *bench) runAll() error {
+	kg, err := b.keygen(b.f.dist, b.f.theta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b.stdout, "main run: dist=%s qps=%g ops=%d keys=%d\n", b.f.dist, b.f.qps, b.f.ops, b.f.keys)
+	b.main, err = b.runOnce(kg, b.f.qps, b.f.ops)
+	if err != nil {
+		return err
+	}
+	b.report("main", b.main)
+
+	if b.f.skews != "" {
+		thetas, err := parseFloats(b.f.skews)
+		if err != nil {
+			return fmt.Errorf("bad -skews: %w", err)
+		}
+		for _, th := range thetas {
+			kg, err := b.keygen("zipfian", th)
+			if err != nil {
+				return err
+			}
+			o, err := b.runOnce(kg, b.f.qps, b.f.skewOps)
+			if err != nil {
+				return fmt.Errorf("skew theta=%g: %w", th, err)
+			}
+			b.skewPts = append(b.skewPts, skewPoint{
+				Theta:        th,
+				Ops:          o.rep.Ops,
+				CacheHitRate: o.fin.CacheHitRate,
+				P99Ms:        o.rep.Response.P99Ms,
+				AchievedQPS:  o.rep.AchievedQPS,
+			})
+			fmt.Fprintf(b.stdout, "skew theta=%.2f: cache hit rate %.3f, submit p99 %.2fms\n",
+				th, o.fin.CacheHitRate, o.rep.Response.P99Ms)
+		}
+	}
+
+	if b.f.sweep != "" {
+		steps, err := parseFloats(b.f.sweep)
+		if err != nil {
+			return fmt.Errorf("bad -sweep: %w", err)
+		}
+		for _, q := range steps {
+			kg, err := b.keygen(b.f.dist, b.f.theta)
+			if err != nil {
+				return err
+			}
+			o, err := b.runOnce(kg, q, b.f.skewOps)
+			if err != nil {
+				return fmt.Errorf("sweep qps=%g: %w", q, err)
+			}
+			b.sweepPts = append(b.sweepPts, sweepPoint{
+				TargetQPS:   q,
+				AchievedQPS: o.rep.AchievedQPS,
+				Rejected:    o.rep.Rejected,
+				P99Ms:       o.rep.Response.P99Ms,
+			})
+			fmt.Fprintf(b.stdout, "sweep qps=%g: achieved %.1f, rejected %d, submit p99 %.2fms\n",
+				q, o.rep.AchievedQPS, o.rep.Rejected, o.rep.Response.P99Ms)
+		}
+	}
+	return nil
+}
+
+// keygen builds a fresh generator; each call reseeds so sub-runs are
+// independent of how many draws earlier phases consumed.
+func (b *bench) keygen(dist string, theta float64) (loadgen.KeyGen, error) {
+	r := xrand.New(b.f.seed)
+	n := uint64(b.f.keys)
+	switch dist {
+	case "uniform":
+		return loadgen.NewUniform(r, n), nil
+	case "zipfian":
+		return loadgen.NewZipfian(r, n, theta)
+	case "hotspot":
+		return loadgen.NewHotspot(r, n, b.f.hotFrac, b.f.hotOp)
+	case "exponential":
+		return loadgen.NewExponential(r, n, b.f.expMean)
+	default:
+		return nil, fmt.Errorf("unknown -dist %q (want zipfian, uniform, hotspot or exponential)", dist)
+	}
+}
+
+// runOnce drives one harness run against a fresh spec population and
+// waits for every accepted job to finish.
+func (b *bench) runOnce(kg loadgen.KeyGen, qps float64, ops int) (outcome, error) {
+	b.salt++
+	specs, err := buildSpecs(b.f, b.salt)
+	if err != nil {
+		return outcome{}, err
+	}
+	tgt := loadgen.NewJobdTarget(b.client, specs)
+	tgt.SSEEvery = b.f.sseEach
+
+	ctx, cancel := context.WithTimeout(context.Background(), b.f.waitTimeout)
+	defer cancel()
+	rep, err := loadgen.Run(ctx, tgt, loadgen.Options{
+		QPS:            qps,
+		Ops:            ops,
+		Keys:           kg,
+		MaxOutstanding: b.f.maxOut,
+	})
+	if err != nil {
+		return outcome{}, err
+	}
+	fin, err := tgt.Finish(ctx)
+	if err != nil {
+		return outcome{}, fmt.Errorf("waiting for jobs to drain: %w", err)
+	}
+	return outcome{rep: rep, fin: fin}, nil
+}
+
+// buildSpecs makes the population of distinct simulation specs. The
+// spec is a partial gpuwalk.Config: gpuwalkd merges it over
+// DefaultConfig, and the Seed (which folds in both the key index and
+// the sub-run salt) varies the ConfigHash so every key is its own
+// cache entry.
+func buildSpecs(f benchFlags, salt uint64) ([][]byte, error) {
+	type gen struct {
+		Scale              float64
+		WavefrontsPerCU    int
+		InstrsPerWavefront int
+	}
+	type spec struct {
+		Workload string
+		Seed     uint64
+		Gen      gen
+	}
+	specs := make([][]byte, f.keys)
+	for k := range specs {
+		b, err := json.Marshal(spec{
+			Workload: f.workload,
+			Seed:     salt*1_000_000 + uint64(k),
+			Gen: gen{
+				Scale:              f.scale,
+				WavefrontsPerCU:    f.wavefronts,
+				InstrsPerWavefront: f.instrs,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		specs[k] = b
+	}
+	return specs, nil
+}
+
+func (b *bench) report(name string, o outcome) {
+	rep, fin := o.rep, o.fin
+	fmt.Fprintf(b.stdout,
+		"%s: %d ops in %.2fs (%.1f/s achieved of %g target), %d ok, %d rejected, %d errors\n",
+		name, rep.Ops, rep.ElapsedSeconds, rep.AchievedQPS, rep.TargetQPS, rep.OK, rep.Rejected, rep.Errors)
+	fmt.Fprintf(b.stdout,
+		"  submit (from intended start): p50 %.2fms  p99 %.2fms  p99.9 %.2fms  max %.2fms\n",
+		rep.Response.P50Ms, rep.Response.P99Ms, rep.Response.P999Ms, rep.Response.MaxMs)
+	fmt.Fprintf(b.stdout,
+		"  submit (from actual send):    p50 %.2fms  p99 %.2fms\n",
+		rep.Service.P50Ms, rep.Service.P99Ms)
+	fmt.Fprintf(b.stdout,
+		"  jobs: %d done, %d failed, %d cancelled, %d evicted; cache hit rate %.3f (%d/%d items)\n",
+		fin.Done, fin.Failed, fin.Cancelled, fin.Evicted, fin.CacheHitRate, fin.CacheHits, fin.ItemsDone)
+	if fin.SSESampled > 0 {
+		fmt.Fprintf(b.stdout,
+			"  sse first progress: p50 %.2fms  p99 %.2fms (%d sampled, %d without progress, %d errors)\n",
+			fin.FirstProgress.P50Ms, fin.FirstProgress.P99Ms, fin.SSESampled, fin.SSENoProgress, fin.SSEErrors)
+	}
+}
+
+// metrics flattens the measurements into the benchdiff shape: top-level
+// float64 metrics plus string metadata; the curves ride along as nested
+// arrays benchdiff ignores.
+func (b *bench) metrics() map[string]any {
+	rep, fin := b.main.rep, b.main.fin
+	m := map[string]any{
+		"benchmark":     "gpuwalkbench: open-loop load against gpuwalkd",
+		"model_version": gpuwalk.SimVersion,
+		"dist":          b.f.dist,
+
+		"target_qps":   rep.TargetQPS,
+		"achieved_qps": rep.AchievedQPS,
+		"ops":          float64(rep.Ops),
+		"ok":           float64(rep.OK),
+		"rejected":     float64(rep.Rejected),
+		"errors":       float64(rep.Errors),
+
+		"submit_p50_ms":  rep.Response.P50Ms,
+		"submit_p99_ms":  rep.Response.P99Ms,
+		"submit_p999_ms": rep.Response.P999Ms,
+		"submit_mean_ms": rep.Response.MeanMs,
+		"submit_max_ms":  rep.Response.MaxMs,
+		"service_p50_ms": rep.Service.P50Ms,
+		"service_p99_ms": rep.Service.P99Ms,
+
+		"sse_first_progress_p50_ms": fin.FirstProgress.P50Ms,
+		"sse_first_progress_p99_ms": fin.FirstProgress.P99Ms,
+		"sse_samples":               float64(fin.SSESampled),
+
+		"cache_hit_rate": fin.CacheHitRate,
+		"cache_hits":     float64(fin.CacheHits),
+		"cache_misses":   float64(fin.ItemsDone - fin.CacheHits),
+	}
+	if len(b.skewPts) > 0 {
+		m["skew_curve"] = b.skewPts
+	}
+	if len(b.sweepPts) > 0 {
+		m["qps_steps"] = b.sweepPts
+		sat := 0.0
+		for _, p := range b.sweepPts {
+			if p.AchievedQPS > sat {
+				sat = p.AchievedQPS
+			}
+		}
+		m["saturation_qps"] = sat
+	}
+	return m
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values in %q", s)
+	}
+	return out, nil
+}

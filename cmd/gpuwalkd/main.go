@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheBytes   = fs.Int64("cache-max-bytes", 0, "evict least-recently-used results beyond this size (0 = unbounded)")
 		workers      = fs.Int("workers", 0, "simulation worker pool width (0 = one per CPU)")
 		queueSize    = fs.Int("queue", 64, "max queued jobs before submissions are rejected")
+		retainJobs   = fs.Int("retain", 0, "finished jobs kept addressable via the API (0 = default 4096, negative = unbounded)")
 		timeout      = fs.Duration("timeout", 10*time.Minute, "default per-job timeout (0 = none)")
 		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
 		logFormat    = fs.String("log-format", "json", "structured log format: json or text")
@@ -88,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Runner:           newRunner(cache, *progCycles),
 		Workers:          *workers,
 		QueueSize:        *queueSize,
+		RetainJobs:       *retainJobs,
 		DefaultTimeout:   *timeout,
 		Logger:           logger,
 		ProgressInterval: *progInterval,

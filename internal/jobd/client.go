@@ -1,0 +1,216 @@
+package jobd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a minimal typed client for the jobd HTTP API. It exists so
+// the load harness (cmd/gpuwalkbench via internal/loadgen) and tests
+// speak the same wire types the server marshals, instead of each
+// re-declaring fragments of the API.
+//
+// The zero value is not usable; set BaseURL. Methods are safe for
+// concurrent use.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8077".
+	BaseURL string
+	// HTTP is the underlying client; nil uses a private default with
+	// no timeout (callers pass contexts; SSE streams outlive any fixed
+	// request timeout).
+	HTTP *http.Client
+}
+
+var defaultHTTPClient = &http.Client{}
+
+func (c *Client) httpc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultHTTPClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + path
+}
+
+// apiError decodes the server's {"error": ...} body into a readable
+// error, mapping the backpressure statuses onto the server's sentinel
+// errors so callers can errors.Is against ErrQueueFull / ErrDraining.
+func apiError(resp *http.Response, body []byte) error {
+	msg := strings.TrimSpace(string(body))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w (%s)", ErrQueueFull, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w (%s)", ErrDraining, msg)
+	}
+	return fmt.Errorf("jobd: server returned %s: %s", resp.Status, msg)
+}
+
+// Submit POSTs one job. Backpressure rejections surface as errors
+// matching ErrQueueFull (HTTP 429) or ErrDraining (HTTP 503).
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobView, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
+	if err != nil {
+		return JobView{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc().Do(hreq)
+	if err != nil {
+		return JobView{}, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return JobView{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return JobView{}, apiError(resp, b)
+	}
+	var v JobView
+	if err := json.Unmarshal(b, &v); err != nil {
+		return JobView{}, fmt.Errorf("jobd: decoding submit response: %w", err)
+	}
+	return v, nil
+}
+
+// Job fetches one job's snapshot.
+func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
+	return c.getJSON(ctx, "/v1/jobs/"+id)
+}
+
+// Jobs lists every job the server still retains, in admission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobView, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp, b)
+	}
+	var out struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("jobd: decoding job list: %w", err)
+	}
+	return out.Jobs, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string) (JobView, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return JobView{}, err
+	}
+	resp, err := c.httpc().Do(hreq)
+	if err != nil {
+		return JobView{}, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return JobView{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return JobView{}, apiError(resp, b)
+	}
+	var v JobView
+	if err := json.Unmarshal(b, &v); err != nil {
+		return JobView{}, fmt.Errorf("jobd: decoding job: %w", err)
+	}
+	return v, nil
+}
+
+// WaitTerminal polls a job until it reaches a terminal state, ctx
+// expires, or the server no longer retains it.
+func (c *Client) WaitTerminal(ctx context.Context, id string, poll time.Duration) (JobView, error) {
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return JobView{}, err
+		}
+		if v.State.Terminal() {
+			return v, nil
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return v, ctx.Err()
+		}
+	}
+}
+
+// FirstProgress opens the job's SSE stream and measures the time until
+// the first `progress` event arrives. It returns seen=false (and no
+// error) when the job reached a terminal state without ever reporting
+// progress — cache hits skip simulation entirely, so that is a normal
+// outcome, not a failure.
+func (c *Client) FirstProgress(ctx context.Context, id string) (d time.Duration, seen bool, err error) {
+	start := time.Now()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := c.httpc().Do(hreq)
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, false, apiError(resp, b)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		typ, found := strings.CutPrefix(line, "event: ")
+		if !found {
+			continue
+		}
+		switch typ {
+		case EventProgress:
+			return time.Since(start), true, nil
+		case EventDone, EventFailed, EventCancelled:
+			// The server emits any final progress event before the
+			// terminal one, so reaching here means there was none.
+			return 0, false, nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return 0, false, err
+	}
+	return 0, false, ctx.Err()
+}

@@ -1,0 +1,357 @@
+// End-to-end load tests: the open-loop harness (internal/loadgen)
+// driving a real in-process jobd server over HTTP. External test
+// package because loadgen imports jobd for the client types.
+package jobd_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpuwalk/internal/jobd"
+	"gpuwalk/internal/loadgen"
+	"gpuwalk/internal/xrand"
+)
+
+// cachingRunner fakes gpuwalkd's RunCached runner: the first sight of
+// a spec "simulates" (sleeps, reports progress), repeats are cache
+// hits. Hit/miss depends only on the set of specs submitted, so the
+// skew comparison below is deterministic up to racing duplicates.
+type cachingRunner struct {
+	mu   sync.Mutex
+	seen map[string]bool
+	work time.Duration
+}
+
+func (c *cachingRunner) run(ctx context.Context, spec json.RawMessage) (json.RawMessage, bool, error) {
+	key := string(spec)
+	c.mu.Lock()
+	hit := c.seen[key]
+	c.seen[key] = true
+	c.mu.Unlock()
+	if hit {
+		return spec, true, nil
+	}
+	if sink := jobd.ProgressSink(ctx); sink != nil {
+		sink(jobd.ItemProgress{Cycles: 1, Done: 1, Total: 2})
+	}
+	select {
+	case <-time.After(c.work):
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	return spec, false, nil
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// loadOutcome is one harness run's measurements.
+type loadOutcome struct {
+	rep *loadgen.Report
+	fin loadgen.TargetStats
+}
+
+// runLoad stands up a fresh server+cache, drives it with the harness
+// at the given zipfian skew, shuts everything down, and returns the
+// measurements.
+func runLoad(t *testing.T, theta float64, ops int) loadOutcome {
+	t.Helper()
+	rn := &cachingRunner{seen: map[string]bool{}, work: 2 * time.Millisecond}
+	s, err := jobd.NewServer(jobd.Options{
+		Runner:           rn.run,
+		Workers:          8,
+		QueueSize:        -1,
+		Logger:           discardLogger(),
+		ProgressInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		s.Close()
+		ts.Close()
+	}()
+
+	const keys = 150
+	specs := make([][]byte, keys)
+	for k := range specs {
+		specs[k] = []byte(fmt.Sprintf(`{"key":%d}`, k))
+	}
+	zip, err := loadgen.NewZipfian(xrand.New(7), keys, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := loadgen.NewJobdTarget(&jobd.Client{BaseURL: ts.URL}, specs)
+	tgt.SSEEvery = 5
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := loadgen.Run(ctx, tgt, loadgen.Options{QPS: 300, Ops: ops, Keys: zip})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	fin, err := tgt.Finish(ctx)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	return loadOutcome{rep: rep, fin: fin}
+}
+
+// TestLoadHarnessEndToEnd runs the harness against in-process servers
+// at two zipfian skews and checks the full report is populated, the
+// cache hit rate rises with skew, and nothing leaks goroutines.
+func TestLoadHarnessEndToEnd(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const ops = 300
+	lo := runLoad(t, 0.2, ops)
+	hi := runLoad(t, 0.95, ops)
+
+	for name, o := range map[string]loadOutcome{"theta=0.2": lo, "theta=0.95": hi} {
+		rep, fin := o.rep, o.fin
+		if rep.Ops != ops || rep.OK != ops || rep.Rejected != 0 || rep.Errors != 0 {
+			t.Fatalf("%s: counts ops=%d ok=%d rejected=%d errors=%d, want all %d ok",
+				name, rep.Ops, rep.OK, rep.Rejected, rep.Errors, ops)
+		}
+		if rep.Response.N != ops || rep.Response.P50Ms <= 0 || rep.Response.P999Ms < rep.Response.P99Ms {
+			t.Errorf("%s: response summary not populated: %+v", name, rep.Response)
+		}
+		if rep.Service.N != ops || rep.AchievedQPS <= 0 || rep.ElapsedSeconds <= 0 {
+			t.Errorf("%s: service/achieved not populated: %+v achieved=%v", name, rep.Service, rep.AchievedQPS)
+		}
+		if fin.Jobs != ops || fin.Done != ops || fin.Failed != 0 || fin.Cancelled != 0 || fin.Evicted != 0 {
+			t.Errorf("%s: finish jobs=%d done=%d failed=%d cancelled=%d evicted=%d, want %d done",
+				name, fin.Jobs, fin.Done, fin.Failed, fin.Cancelled, fin.Evicted, ops)
+		}
+		if fin.ItemsDone != ops || fin.CacheHits > fin.ItemsDone {
+			t.Errorf("%s: items_done=%d cache_hits=%d", name, fin.ItemsDone, fin.CacheHits)
+		}
+		if fin.SSESampled == 0 || fin.FirstProgress.N == 0 {
+			t.Errorf("%s: SSE sampling empty: sampled=%d first_progress_n=%d (no_progress=%d errors=%d)",
+				name, fin.SSESampled, fin.FirstProgress.N, fin.SSENoProgress, fin.SSEErrors)
+		}
+		if fin.SSEErrors != 0 {
+			t.Errorf("%s: %d SSE watcher errors", name, fin.SSEErrors)
+		}
+		if fin.FirstProgress.N > 0 && fin.FirstProgress.P50Ms <= 0 {
+			t.Errorf("%s: first-progress p50 = %v, want > 0", name, fin.FirstProgress.P50Ms)
+		}
+	}
+
+	// The whole point of a skewed generator: popularity concentration
+	// must show up as cache locality.
+	if hi.fin.CacheHitRate <= lo.fin.CacheHitRate+0.05 {
+		t.Errorf("cache hit rate did not rise with skew: theta=0.95 -> %.3f, theta=0.2 -> %.3f",
+			hi.fin.CacheHitRate, lo.fin.CacheHitRate)
+	}
+
+	// Everything drained: no goroutines leaked by the harness, the SSE
+	// watchers, or the servers. Allow scheduler slack and poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestOverloadRejectionsSeparate floods a tiny queue open-loop and
+// checks the harness books 429s as rejections — never as latencies or
+// errors — while the server keeps serving what it admitted.
+func TestOverloadRejectionsSeparate(t *testing.T) {
+	rn := &cachingRunner{seen: map[string]bool{}, work: 30 * time.Millisecond}
+	s, err := jobd.NewServer(jobd.Options{
+		Runner:    rn.run,
+		Workers:   1,
+		QueueSize: 2,
+		Logger:    discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		s.Close()
+		ts.Close()
+	}()
+
+	specs := make([][]byte, 50)
+	for k := range specs {
+		specs[k] = []byte(fmt.Sprintf(`{"key":%d}`, k))
+	}
+	tgt := loadgen.NewJobdTarget(&jobd.Client{BaseURL: ts.URL}, specs)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := loadgen.Run(ctx, tgt, loadgen.Options{
+		QPS:  500,
+		Ops:  100,
+		Keys: loadgen.NewUniform(xrand.New(11), 50),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected == 0 {
+		t.Fatalf("open-loop overload of a 2-slot queue produced no rejections: %+v", rep)
+	}
+	if rep.OK+rep.Rejected+rep.Errors != rep.Ops {
+		t.Fatalf("ok+rejected+errors = %d+%d+%d, want ops = %d", rep.OK, rep.Rejected, rep.Errors, rep.Ops)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("rejections misbooked as errors: %d errors", rep.Errors)
+	}
+	if rep.Response.N != uint64(rep.OK) {
+		t.Fatalf("response N = %d, want OK = %d: rejected round-trips leaked into the latency histogram",
+			rep.Response.N, rep.OK)
+	}
+	if _, err := tgt.Finish(ctx); err != nil {
+		t.Fatalf("finish after overload: %v", err)
+	}
+}
+
+// TestSubmitRejectionRetryAfter pins the rejection wire contract the
+// harness depends on: 429 with a Retry-After header when the queue is
+// full, 503 with Retry-After when draining.
+func TestSubmitRejectionRetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	s, err := jobd.NewServer(jobd.Options{
+		Runner: func(ctx context.Context, spec json.RawMessage) (json.RawMessage, bool, error) {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+			return spec, false, nil
+		},
+		Workers:   1,
+		QueueSize: 1,
+		Logger:    discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		close(gate)
+		s.Close()
+		ts.Close()
+	}()
+
+	post := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"spec":{"k":1}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// One running (worker blocked on the gate) + one queued fills the
+	// server; submissions beyond that must 429. The first POST may
+	// still be queued when the second arrives, so allow a few tries.
+	var rejected *http.Response
+	for i := 0; i < 10 && rejected == nil; i++ {
+		if resp := post(); resp.StatusCode == http.StatusTooManyRequests {
+			rejected = resp
+		} else if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("unexpected submit status %d", resp.StatusCode)
+		}
+	}
+	if rejected == nil {
+		t.Fatal("never got a 429 from a full 1-slot queue")
+	}
+	if got := rejected.Header.Get("Retry-After"); got == "" {
+		t.Error("429 rejection carries no Retry-After header")
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(rejected.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Errorf("429 body not a JSON error: err=%v body=%+v", err, body)
+	}
+
+	// Draining: same contract on 503.
+	go s.Drain(context.Background())
+	for i := 0; i < 100; i++ {
+		if s.Draining() {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp := post()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("503 rejection carries no Retry-After header")
+	}
+}
+
+// TestRetainJobsEviction pins the job-table bound that keeps memory
+// flat under sustained load: once jobs finish, only the newest
+// RetainJobs of them stay addressable.
+func TestRetainJobsEviction(t *testing.T) {
+	s, err := jobd.NewServer(jobd.Options{
+		Runner: func(ctx context.Context, spec json.RawMessage) (json.RawMessage, bool, error) {
+			return spec, false, nil
+		},
+		Workers:    2,
+		RetainJobs: 3,
+		Logger:     discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var ids []string
+	for i := 0; i < 10; i++ {
+		v, err := s.Submit(jobd.SubmitRequest{Spec: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+		// Wait for this job to finish so terminal jobs accumulate.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			got, ok := s.Job(v.ID)
+			if ok && got.State.Terminal() {
+				break
+			}
+			if !ok {
+				break // already evicted, also fine
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", v.ID)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	if got := len(s.Jobs()); got != 3 {
+		t.Fatalf("retained %d jobs, want 3", got)
+	}
+	if _, ok := s.Job(ids[0]); ok {
+		t.Errorf("oldest job %s still addressable past the retention bound", ids[0])
+	}
+	if _, ok := s.Job(ids[len(ids)-1]); !ok {
+		t.Errorf("newest job %s was evicted", ids[len(ids)-1])
+	}
+}

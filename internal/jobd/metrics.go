@@ -18,6 +18,7 @@ type serverMetrics struct {
 	finished  *obs.Family // jobd_jobs_finished_total{state}
 	items     *obs.Family // jobd_items_total{outcome}
 	itemCache *obs.Family // jobd_item_cache_total{result}
+	evicted   *obs.Metric // jobd_jobs_evicted_total
 	queued    *obs.Metric // jobd_jobs_queued
 	running   *obs.Metric // jobd_jobs_running
 	duration  *obs.Family // jobd_job_duration_seconds{state}
@@ -35,6 +36,7 @@ func newServerMetrics(start time.Time) *serverMetrics {
 		finished:  fs.NewCounter("jobd_jobs_finished_total", "Jobs reaching a terminal state.", "state"),
 		items:     fs.NewCounter("jobd_items_total", "Job items finished.", "outcome"),
 		itemCache: fs.NewCounter("jobd_item_cache_total", "Item result-cache lookups.", "result"),
+		evicted:   fs.NewCounter("jobd_jobs_evicted_total", "Finished jobs evicted from the table by the RetainJobs bound.").With(),
 		queued:    fs.NewGauge("jobd_jobs_queued", "Jobs waiting in the queue.").With(),
 		running:   fs.NewGauge("jobd_jobs_running", "Jobs currently executing.").With(),
 		duration: fs.NewHistogram("jobd_job_duration_seconds",

@@ -35,6 +35,14 @@ type Options struct {
 	// submissions beyond it are rejected. Defaults to 64. Negative
 	// means unbounded.
 	QueueSize int
+	// RetainJobs bounds how many jobs the server keeps for GET/list
+	// after they finish. Under sustained load the job table would
+	// otherwise grow without bound (every job lives forever for its
+	// result to be fetched); once the table exceeds this many jobs,
+	// the oldest *terminal* jobs are evicted — queued and running jobs
+	// are never touched, so the live set always stays addressable.
+	// Defaults to 4096. Negative means unbounded.
+	RetainJobs int
 	// DefaultTimeout applies to jobs that do not set their own.
 	// Zero means no default deadline.
 	DefaultTimeout time.Duration
@@ -99,6 +107,12 @@ func NewServer(opts Options) (*Server, error) {
 	}
 	if opts.QueueSize < 0 {
 		opts.QueueSize = 0 // jobQueue treats 0 as unbounded
+	}
+	if opts.RetainJobs == 0 {
+		opts.RetainJobs = 4096
+	}
+	if opts.RetainJobs < 0 {
+		opts.RetainJobs = 0 // unbounded
 	}
 	if opts.ProgressInterval <= 0 {
 		opts.ProgressInterval = time.Second
@@ -195,6 +209,7 @@ func (s *Server) submit(req SubmitRequest, reqID string) (JobView, error) {
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.evictLocked()
 	s.queue.push(j)
 	j.appendEvent(EventQueued, map[string]any{"items": len(specs)})
 	s.metrics.submitted.Inc()
@@ -320,6 +335,10 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// LIFO defers: eviction runs before the unlock, after the terminal
+	// state below is set, so every terminal transition enforces the
+	// RetainJobs bound.
+	defer s.evictLocked()
 	j.finished = time.Now()
 	dur := j.finished.Sub(j.started)
 	if err := ctx.Err(); err != nil {
@@ -348,6 +367,34 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	j.appendEvent(EventDone, nil)
 	s.metrics.finishJob(StateDone, dur)
 	s.log.Info("job done", "job_id", j.id, "items", len(j.items), "duration_ms", dur.Milliseconds())
+}
+
+// evictLocked drops the oldest terminal jobs once the table exceeds
+// Options.RetainJobs, so the job map stays bounded under sustained
+// traffic. Queued and running jobs are never evicted; the queue bound
+// plus the worker count bounds the non-terminal prefix, so one linear
+// pass suffices. Caller holds the server lock.
+func (s *Server) evictLocked() {
+	max := s.opts.RetainJobs
+	over := len(s.order) - max
+	if max <= 0 || over <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if over > 0 && s.jobs[id].state.Terminal() {
+			delete(s.jobs, id)
+			s.metrics.evicted.Inc()
+			over--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	// Zero the tail so evicted IDs don't pin strings via the shared array.
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = ""
+	}
+	s.order = kept
 }
 
 func errText(err error) string {
@@ -521,8 +568,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	v, err := s.submit(req, requestID(r.Context()))
 	switch {
 	case errors.Is(err, ErrDraining):
+		// Retry-After tells well-behaved open-loop clients to back off
+		// instead of hammering a server that is already shedding load.
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, err.Error())
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err.Error())

@@ -1,0 +1,208 @@
+// Package loadgen generates skewed request streams and measures their
+// latency the way a load harness must: open-loop, against the intended
+// arrival schedule rather than the actual send time, so server-side
+// queueing cannot hide behind delayed sends (coordinated omission).
+//
+// The package has three parts: keyspace generators (this file), a
+// log-bucketed latency recorder (hist.go), and the open-loop runner
+// (run.go). A jobd-specific Target that drives gpuwalkd over HTTP
+// lives in jobdtarget.go; cmd/gpuwalkbench is the CLI front end.
+//
+// Everything is deterministic from an xrand seed: the same seed
+// produces the same key sequence, which is what lets tests pin golden
+// draws and lets two harness runs hit the result cache identically.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+
+	"gpuwalk/internal/xrand"
+)
+
+// KeyGen produces a stream of keys in [0, N()). Implementations are
+// not safe for concurrent use; the runner draws all keys on its
+// dispatcher goroutine, which also keeps the sequence deterministic.
+type KeyGen interface {
+	Next() uint64
+	N() uint64
+}
+
+// Uniform draws keys uniformly over the keyspace.
+type Uniform struct {
+	r *xrand.Rand
+	n uint64
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(r *xrand.Rand, n uint64) *Uniform {
+	if n == 0 {
+		panic("loadgen: uniform keyspace must be non-empty")
+	}
+	return &Uniform{r: r, n: n}
+}
+
+// Next returns the next key.
+func (u *Uniform) Next() uint64 { return u.r.Uint64n(u.n) }
+
+// N returns the keyspace size.
+func (u *Uniform) N() uint64 { return u.n }
+
+// Zipfian draws keys with popularity following a zipfian distribution:
+// key k is drawn with probability proportional to 1/(k+1)^theta, so
+// key 0 is the hottest. Theta in (0, 1) controls the skew; the YCSB
+// convention of theta = 0.99 approximates real-world popularity. The
+// rejection-free method is Gray et al.'s ("Quickly generating
+// billion-record synthetic databases"), the same one YCSB uses.
+//
+// Keys are deliberately not scrambled over the keyspace: rank equals
+// key index, which is what lets the shape tests regress rank-frequency
+// slope directly and makes hit-curve plots readable.
+type Zipfian struct {
+	r     *xrand.Rand
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 0.5^theta, precomputed for the two-point fast path
+}
+
+// NewZipfian returns a zipfian generator over [0, n) with the given
+// theta in (0, 1). It computes zeta(n, theta) up front, which is O(n).
+func NewZipfian(r *xrand.Rand, n uint64, theta float64) (*Zipfian, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("loadgen: zipfian keyspace must be non-empty")
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("loadgen: zipfian theta %v out of range (0, 1)", theta)
+	}
+	zetan := zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	return &Zipfian{
+		r:     r,
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		half:  math.Pow(0.5, theta),
+	}, nil
+}
+
+// zeta returns the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	var s float64
+	for i := uint64(1); i <= n; i++ {
+		s += 1 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+// Next returns the next key; key 0 is the most popular.
+func (z *Zipfian) Next() uint64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// N returns the keyspace size.
+func (z *Zipfian) N() uint64 { return z.n }
+
+// Theta returns the configured skew parameter.
+func (z *Zipfian) Theta() float64 { return z.theta }
+
+// Hotspot draws hotOpFrac of the operations uniformly from the first
+// hotFrac of the keyspace (the hot set) and the rest uniformly from
+// the remainder, YCSB hotspot-style.
+type Hotspot struct {
+	r         *xrand.Rand
+	n         uint64
+	hotN      uint64
+	hotOpFrac float64
+}
+
+// NewHotspot returns a hotspot generator over [0, n). hotFrac in
+// (0, 1) sizes the hot set; hotOpFrac in [0, 1] is the probability an
+// operation targets it.
+func NewHotspot(r *xrand.Rand, n uint64, hotFrac, hotOpFrac float64) (*Hotspot, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("loadgen: hotspot keyspace must have at least 2 keys")
+	}
+	if hotFrac <= 0 || hotFrac >= 1 {
+		return nil, fmt.Errorf("loadgen: hotspot hotFrac %v out of range (0, 1)", hotFrac)
+	}
+	if hotOpFrac < 0 || hotOpFrac > 1 {
+		return nil, fmt.Errorf("loadgen: hotspot hotOpFrac %v out of range [0, 1]", hotOpFrac)
+	}
+	hotN := uint64(float64(n) * hotFrac)
+	if hotN == 0 {
+		hotN = 1
+	}
+	if hotN >= n {
+		hotN = n - 1
+	}
+	return &Hotspot{r: r, n: n, hotN: hotN, hotOpFrac: hotOpFrac}, nil
+}
+
+// Next returns the next key.
+func (h *Hotspot) Next() uint64 {
+	if h.r.Float64() < h.hotOpFrac {
+		return h.r.Uint64n(h.hotN)
+	}
+	return h.hotN + h.r.Uint64n(h.n-h.hotN)
+}
+
+// N returns the keyspace size.
+func (h *Hotspot) N() uint64 { return h.n }
+
+// HotKeys returns the size of the hot set.
+func (h *Hotspot) HotKeys() uint64 { return h.hotN }
+
+// Exponential draws keys with an exponentially decaying popularity:
+// key indices follow an exponential distribution with the given mean,
+// truncated to the keyspace by resampling (the mean should be well
+// below n for the truncation to be negligible).
+type Exponential struct {
+	r    *xrand.Rand
+	n    uint64
+	mean float64
+}
+
+// NewExponential returns an exponential generator over [0, n) whose
+// draws have approximately the given mean key index.
+func NewExponential(r *xrand.Rand, n uint64, mean float64) (*Exponential, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("loadgen: exponential keyspace must be non-empty")
+	}
+	if mean <= 0 {
+		return nil, fmt.Errorf("loadgen: exponential mean %v must be positive", mean)
+	}
+	return &Exponential{r: r, n: n, mean: mean}, nil
+}
+
+// Next returns the next key.
+func (e *Exponential) Next() uint64 {
+	for tries := 0; tries < 64; tries++ {
+		x := -math.Log(1-e.r.Float64()) * e.mean
+		if x < float64(e.n) {
+			return uint64(x)
+		}
+	}
+	// A mean anywhere near sane makes 64 consecutive overflows
+	// astronomically unlikely; cap rather than loop forever.
+	return e.n - 1
+}
+
+// N returns the keyspace size.
+func (e *Exponential) N() uint64 { return e.n }

@@ -1,0 +1,191 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"gpuwalk/internal/xrand"
+)
+
+// drawN collects n draws from g.
+func drawN(g KeyGen, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// TestGoldenDraws pins the exact draw sequence of every generator for
+// a fixed seed. A change here means every committed benchmark and
+// every cached-result replay sees a different key stream: bump it
+// knowingly or not at all.
+func TestGoldenDraws(t *testing.T) {
+	zip, err := NewZipfian(xrand.New(42), 100, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := NewHotspot(xrand.New(42), 100, 0.1, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := NewExponential(xrand.New(42), 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		gen  KeyGen
+		want []uint64
+	}{
+		{"uniform", NewUniform(xrand.New(42), 100),
+			[]uint64{8, 37, 68, 92, 99, 76, 71, 85, 76, 58, 68, 29, 80, 32, 71, 87}},
+		{"zipfian", zip,
+			[]uint64{0, 3, 17, 66, 95, 28, 21, 44, 27, 10, 17, 2, 34, 2, 21, 51}},
+		{"hotspot", hot,
+			[]uint64{3, 9, 79, 8, 5, 2, 38, 8, 8, 7, 1, 6, 4, 7, 2, 6}},
+		{"exponential", exp,
+			[]uint64{0, 4, 11, 25, 48, 14, 12, 18, 14, 8, 11, 3, 16, 3, 12, 21}},
+	}
+	for _, tc := range cases {
+		got := drawN(tc.gen, len(tc.want))
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s draw %d = %d, want %d (full: %v)", tc.name, i, got[i], tc.want[i], got)
+				break
+			}
+		}
+	}
+}
+
+func TestGeneratorsStayInRange(t *testing.T) {
+	zip, _ := NewZipfian(xrand.New(3), 17, 0.9)
+	hot, _ := NewHotspot(xrand.New(3), 17, 0.3, 0.9)
+	exp, _ := NewExponential(xrand.New(3), 17, 50) // mean near n: truncation path
+	for _, g := range []KeyGen{NewUniform(xrand.New(3), 17), zip, hot, exp} {
+		if g.N() != 17 {
+			t.Fatalf("N = %d, want 17", g.N())
+		}
+		for i := 0; i < 10000; i++ {
+			if k := g.Next(); k >= 17 {
+				t.Fatalf("%T draw %d out of range: %d", g, i, k)
+			}
+		}
+	}
+}
+
+// TestZipfianRankFrequencySlope regresses log(frequency) on log(rank)
+// and requires the slope to sit near -theta. A generator regression
+// that flattens (or over-steepens) the skew — the exact failure mode
+// that would silently wreck every cache-hit-versus-skew measurement —
+// fails here.
+func TestZipfianRankFrequencySlope(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.99} {
+		z, err := NewZipfian(xrand.New(1), 1000, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const draws = 300000
+		counts := make([]float64, 1000)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		// Least-squares slope over the top 50 ranks (keys are unscrambled,
+		// so key index is rank). All have plenty of mass at these thetas.
+		var sx, sy, sxx, sxy float64
+		n := 0
+		for k := 0; k < 50; k++ {
+			if counts[k] == 0 {
+				t.Fatalf("theta=%v: rank %d drew zero times in %d draws", theta, k, draws)
+			}
+			x, y := math.Log(float64(k+1)), math.Log(counts[k])
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+			n++
+		}
+		slope := (float64(n)*sxy - sx*sy) / (float64(n)*sxx - sx*sx)
+		if d := math.Abs(slope - -theta); d > 0.12 {
+			t.Errorf("theta=%v: rank-frequency slope = %.3f, want within 0.12 of %.3f", theta, slope, -theta)
+		}
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	h, err := NewHotspot(xrand.New(9), 1000, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.HotKeys() != 200 {
+		t.Fatalf("hot set = %d keys, want 200", h.HotKeys())
+	}
+	const draws = 200000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		if h.Next() < h.HotKeys() {
+			hot++
+		}
+	}
+	if got := float64(hot) / draws; math.Abs(got-0.8) > 0.01 {
+		t.Errorf("hot-set fraction = %.4f, want 0.80 +/- 0.01", got)
+	}
+}
+
+func TestExponentialShape(t *testing.T) {
+	e, err := NewExponential(xrand.New(5), 10000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 200000
+	var sum float64
+	below := 0
+	for i := 0; i < draws; i++ {
+		k := e.Next()
+		sum += float64(k)
+		if float64(k) < 50 {
+			below++
+		}
+	}
+	// Continuous Exp(mean=50) floored to ints has mean ~49.5; the mass
+	// below the mean is 1 - 1/e ~ 0.632.
+	if mean := sum / draws; math.Abs(mean-49.5) > 1.5 {
+		t.Errorf("mean draw = %.2f, want ~49.5", mean)
+	}
+	if frac := float64(below) / draws; math.Abs(frac-(1-1/math.E)) > 0.01 {
+		t.Errorf("mass below mean = %.4f, want ~%.4f", frac, 1-1/math.E)
+	}
+}
+
+func TestUniformShape(t *testing.T) {
+	u := NewUniform(xrand.New(11), 1000)
+	const draws = 200000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += float64(u.Next())
+	}
+	if mean := sum / draws; math.Abs(mean-499.5) > 5 {
+		t.Errorf("mean draw = %.2f, want ~499.5", mean)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewZipfian(xrand.New(1), 0, 0.9); err == nil {
+		t.Error("zipfian with empty keyspace: want error")
+	}
+	if _, err := NewZipfian(xrand.New(1), 10, 1.0); err == nil {
+		t.Error("zipfian theta=1: want error")
+	}
+	if _, err := NewZipfian(xrand.New(1), 10, 0); err == nil {
+		t.Error("zipfian theta=0: want error")
+	}
+	if _, err := NewHotspot(xrand.New(1), 1, 0.5, 0.5); err == nil {
+		t.Error("hotspot with 1 key: want error")
+	}
+	if _, err := NewHotspot(xrand.New(1), 10, 1.5, 0.5); err == nil {
+		t.Error("hotspot hotFrac=1.5: want error")
+	}
+	if _, err := NewExponential(xrand.New(1), 10, 0); err == nil {
+		t.Error("exponential mean=0: want error")
+	}
+}

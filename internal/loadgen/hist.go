@@ -1,0 +1,87 @@
+package loadgen
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpuwalk/internal/stats"
+)
+
+// histShards stripes the recorder so concurrent op goroutines rarely
+// contend on one mutex; Summary merges the stripes (stats.Quantile
+// merging is exact, so striping never changes the reported quantiles).
+const histShards = 8
+
+// LatencyHist is a concurrency-safe log-bucketed latency recorder.
+// Samples land in a geometric-bucket quantile estimator (2% resolution,
+// microsecond granularity), so memory stays constant regardless of op
+// count and tail quantiles up to p999 stay meaningful.
+type LatencyHist struct {
+	next   atomic.Uint64
+	shards [histShards]histShard
+}
+
+type histShard struct {
+	mu  sync.Mutex
+	q   stats.Quantile // microseconds
+	sum time.Duration
+	max time.Duration
+	n   uint64
+}
+
+// Observe records one latency sample. Negative samples (clock skew)
+// clamp to zero.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	sh := &h.shards[h.next.Add(1)%histShards]
+	sh.mu.Lock()
+	sh.q.Observe(uint64(d / time.Microsecond))
+	sh.sum += d
+	if d > sh.max {
+		sh.max = d
+	}
+	sh.n++
+	sh.mu.Unlock()
+}
+
+// LatencySummary is the wire form of a LatencyHist: sample count plus
+// mean/median/tail latencies in milliseconds.
+type LatencySummary struct {
+	N      uint64  `json:"n"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Summary merges the stripes and reports the distribution so far.
+func (h *LatencyHist) Summary() LatencySummary {
+	var q stats.Quantile
+	var sum, max time.Duration
+	var n uint64
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		q.Merge(&sh.q)
+		sum += sh.sum
+		if sh.max > max {
+			max = sh.max
+		}
+		n += sh.n
+		sh.mu.Unlock()
+	}
+	s := LatencySummary{N: n}
+	if n == 0 {
+		return s
+	}
+	s.MeanMs = float64(sum) / float64(n) / float64(time.Millisecond)
+	s.P50Ms = float64(q.Value(0.5)) / 1e3
+	s.P99Ms = float64(q.Value(0.99)) / 1e3
+	s.P999Ms = float64(q.Value(0.999)) / 1e3
+	s.MaxMs = float64(max) / float64(time.Millisecond)
+	return s
+}

@@ -1,0 +1,181 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op is one scheduled operation handed to a Target.
+type Op struct {
+	// Seq is the op's position in the arrival schedule, starting at 0.
+	Seq int
+	// Key is the keyspace index drawn for this op.
+	Key uint64
+	// Intended is when the open-loop schedule wanted the op to start.
+	// Latency is measured against this, never against Sent: an op the
+	// harness could not send on time (all senders busy, dispatch
+	// backlog) still charges its full queueing delay to the server.
+	Intended time.Time
+	// Sent is when the op actually left the harness. The gap between
+	// Intended and Sent is exactly what coordinated-omission-unsafe
+	// tools silently drop.
+	Sent time.Time
+}
+
+// OpResult is a Target's account of one op.
+type OpResult struct {
+	// Err marks the op failed (transport error, unexpected status).
+	// Failed ops are counted, never folded into latency.
+	Err error
+	// Rejected marks backpressure (HTTP 429/503-style). Rejections are
+	// counted separately from both successes and errors, and their
+	// round-trips are never folded into the latency distributions —
+	// a fast "no" must not improve the reported tail.
+	Rejected bool
+}
+
+// Target executes ops. Do is called from many goroutines at once and
+// must be safe for concurrent use. It should return as soon as the
+// operation's measured phase completes (for a job service: when the
+// submit round-trip finishes, not when the job does).
+type Target interface {
+	Do(ctx context.Context, op Op) OpResult
+}
+
+// Options configures an open-loop run.
+type Options struct {
+	// QPS is the target arrival rate. Required, > 0.
+	QPS float64
+	// Ops is the number of operations to schedule. Required, > 0.
+	Ops int
+	// Keys supplies the key stream. Required. Keys are drawn on the
+	// dispatcher goroutine, so the sequence is deterministic.
+	Keys KeyGen
+	// MaxOutstanding bounds concurrently in-flight ops (memory, fds).
+	// When the bound binds, dispatch is delayed but latency is still
+	// measured against the intended start, so the measurement stays
+	// coordinated-omission-safe. Defaults to 4096.
+	MaxOutstanding int
+}
+
+// Report is the runner's measurement of one run.
+type Report struct {
+	TargetQPS      float64 `json:"target_qps"`
+	Ops            int     `json:"ops"`
+	OK             int     `json:"ok"`
+	Rejected       int     `json:"rejected"`
+	Errors         int     `json:"errors"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// AchievedQPS is completed-successfully ops over wall time.
+	AchievedQPS float64 `json:"achieved_qps"`
+	// Response is the coordinated-omission-safe latency distribution:
+	// completion minus intended start. This is the headline number.
+	Response LatencySummary `json:"response"`
+	// Service is completion minus actual send — the number a
+	// coordinated-omission-unsafe tool would (wrongly) report. It is
+	// kept for diagnosis: Response >> Service means the harness or the
+	// server was backlogged, not that individual ops were slow.
+	Service LatencySummary `json:"service"`
+}
+
+// Run executes an open-loop load run: Ops operations at QPS, each
+// dispatched at its intended time (or as soon after as the outstanding
+// bound allows) on its own goroutine. It returns when every dispatched
+// op has completed. A cancelled ctx stops dispatching and returns the
+// partial report along with ctx's error.
+func Run(ctx context.Context, t Target, opts Options) (*Report, error) {
+	if t == nil {
+		return nil, fmt.Errorf("loadgen: Target is required")
+	}
+	if opts.QPS <= 0 {
+		return nil, fmt.Errorf("loadgen: QPS must be positive, got %v", opts.QPS)
+	}
+	if opts.Ops <= 0 {
+		return nil, fmt.Errorf("loadgen: Ops must be positive, got %d", opts.Ops)
+	}
+	if opts.Keys == nil {
+		return nil, fmt.Errorf("loadgen: Keys generator is required")
+	}
+	maxOut := opts.MaxOutstanding
+	if maxOut <= 0 {
+		maxOut = 4096
+	}
+
+	var (
+		ok, rejected, errs atomic.Int64
+		response, service  LatencyHist
+		wg                 sync.WaitGroup
+		sem                = make(chan struct{}, maxOut)
+		timer              = time.NewTimer(0)
+	)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	start := time.Now()
+	dispatched := 0
+	perOp := float64(time.Second) / opts.QPS
+
+dispatch:
+	for i := 0; i < opts.Ops; i++ {
+		intended := start.Add(time.Duration(float64(i) * perOp))
+		if d := time.Until(intended); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				break dispatch
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		key := opts.Keys.Next()
+		// Acquiring the slot may block past the intended time; that
+		// delay stays charged to the op because latency is measured
+		// from intended, not from send.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
+		dispatched++
+		wg.Add(1)
+		go func(seq int, key uint64, intended time.Time) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sent := time.Now()
+			res := t.Do(ctx, Op{Seq: seq, Key: key, Intended: intended, Sent: sent})
+			done := time.Now()
+			switch {
+			case res.Rejected:
+				rejected.Add(1)
+			case res.Err != nil:
+				errs.Add(1)
+			default:
+				ok.Add(1)
+				response.Observe(done.Sub(intended))
+				service.Observe(done.Sub(sent))
+			}
+		}(i, key, intended)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		TargetQPS:      opts.QPS,
+		Ops:            dispatched,
+		OK:             int(ok.Load()),
+		Rejected:       int(rejected.Load()),
+		Errors:         int(errs.Load()),
+		ElapsedSeconds: elapsed.Seconds(),
+		Response:       response.Summary(),
+		Service:        service.Summary(),
+	}
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(rep.OK) / elapsed.Seconds()
+	}
+	return rep, ctx.Err()
+}

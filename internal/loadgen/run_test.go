@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpuwalk/internal/xrand"
+)
+
+// funcTarget adapts a function to Target.
+type funcTarget func(ctx context.Context, op Op) OpResult
+
+func (f funcTarget) Do(ctx context.Context, op Op) OpResult { return f(ctx, op) }
+
+func TestOpenLoopRunBasics(t *testing.T) {
+	var calls atomic.Int64
+	tgt := funcTarget(func(ctx context.Context, op Op) OpResult {
+		calls.Add(1)
+		time.Sleep(100 * time.Microsecond)
+		return OpResult{}
+	})
+	rep, err := Run(context.Background(), tgt, Options{
+		QPS:  2000,
+		Ops:  400,
+		Keys: NewUniform(xrand.New(1), 50),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 400 || rep.OK != 400 || rep.Rejected != 0 || rep.Errors != 0 {
+		t.Fatalf("counts: ops=%d ok=%d rejected=%d errors=%d, want 400/400/0/0",
+			rep.Ops, rep.OK, rep.Rejected, rep.Errors)
+	}
+	if calls.Load() != 400 {
+		t.Fatalf("target saw %d calls, want 400", calls.Load())
+	}
+	if rep.Response.N != 400 || rep.Service.N != 400 {
+		t.Fatalf("latency N: response=%d service=%d, want 400/400", rep.Response.N, rep.Service.N)
+	}
+	if rep.Response.P50Ms < rep.Service.P50Ms {
+		// Per-op response >= service (intended <= sent), so the medians
+		// must order the same way.
+		t.Errorf("response p50 %.3fms < service p50 %.3fms", rep.Response.P50Ms, rep.Service.P50Ms)
+	}
+	if rep.AchievedQPS <= 0 || rep.ElapsedSeconds <= 0 {
+		t.Errorf("achieved_qps=%.1f elapsed=%.3fs, want both > 0", rep.AchievedQPS, rep.ElapsedSeconds)
+	}
+	if rep.TargetQPS != 2000 {
+		t.Errorf("target_qps = %v, want 2000", rep.TargetQPS)
+	}
+}
+
+// TestRejectionsCountedSeparately: backpressure must never leak into
+// the latency distributions — a server that instantly 429s half the
+// load must not look faster for it.
+func TestRejectionsCountedSeparately(t *testing.T) {
+	tgt := funcTarget(func(ctx context.Context, op Op) OpResult {
+		switch {
+		case op.Seq%3 == 0:
+			return OpResult{Rejected: true}
+		case op.Seq%7 == 0:
+			return OpResult{Err: errors.New("boom")}
+		default:
+			time.Sleep(200 * time.Microsecond)
+			return OpResult{}
+		}
+	})
+	rep, err := Run(context.Background(), tgt, Options{
+		QPS:  5000,
+		Ops:  210,
+		Keys: NewUniform(xrand.New(2), 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRejected, wantErrors := 70, 20 // seq%3==0: 70; seq%7==0 and not %3: 20
+	if rep.Rejected != wantRejected || rep.Errors != wantErrors {
+		t.Fatalf("rejected=%d errors=%d, want %d/%d", rep.Rejected, rep.Errors, wantRejected, wantErrors)
+	}
+	if rep.OK+rep.Rejected+rep.Errors != rep.Ops {
+		t.Fatalf("ok+rejected+errors = %d, want ops = %d", rep.OK+rep.Rejected+rep.Errors, rep.Ops)
+	}
+	if rep.Response.N != uint64(rep.OK) {
+		t.Fatalf("response latency N = %d, want OK = %d (rejections must stay out)", rep.Response.N, rep.OK)
+	}
+}
+
+// TestCoordinatedOmissionAccounting is the regression test for the
+// harness's central property. One op stalls the (single-slot) pipeline
+// for 400ms while the schedule keeps moving; every op behind it is
+// sent late but serviced quickly. Send-time ("service") accounting
+// wrongly reports a flat tail; intended-start ("response") accounting
+// must report the inflated one. A harness change that measures from
+// the send time flips the response assertion and fails here.
+func TestCoordinatedOmissionAccounting(t *testing.T) {
+	const stall = 400 * time.Millisecond
+	tgt := funcTarget(func(ctx context.Context, op Op) OpResult {
+		if op.Seq == 10 {
+			time.Sleep(stall)
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+		return OpResult{}
+	})
+	rep, err := Run(context.Background(), tgt, Options{
+		QPS:            1000,
+		Ops:            200,
+		Keys:           NewUniform(xrand.New(3), 10),
+		MaxOutstanding: 1, // serialize sends so the stall backs up the schedule
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 200 {
+		t.Fatalf("ok = %d, want 200", rep.OK)
+	}
+	// The schedule arrives every 1ms and service takes ~1ms, so the
+	// ~400ms backlog behind op 10 never drains: nearly every later op
+	// carries hundreds of ms of queueing delay.
+	if rep.Response.P99Ms < 200 {
+		t.Errorf("response (intended-start) p99 = %.1fms, want >= 200ms: stall was hidden", rep.Response.P99Ms)
+	}
+	// Send-time accounting sees only the per-op ~1ms service (p99 may
+	// catch the one stalled op at 1-in-200, but the median cannot).
+	if rep.Service.P50Ms > 50 {
+		t.Errorf("service (send-time) p50 = %.1fms, want < 50ms: not a per-op slowdown", rep.Service.P50Ms)
+	}
+	if rep.Response.P99Ms < 4*rep.Service.P50Ms {
+		t.Errorf("response p99 %.1fms not clearly above service p50 %.1fms", rep.Response.P99Ms, rep.Service.P50Ms)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tgt := funcTarget(func(ctx context.Context, op Op) OpResult {
+		if op.Seq == 20 {
+			cancel()
+		}
+		return OpResult{}
+	})
+	rep, err := Run(ctx, tgt, Options{
+		QPS:  500,
+		Ops:  100000,
+		Keys: NewUniform(xrand.New(4), 10),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil || rep.Ops >= 100000 || rep.Ops < 20 {
+		t.Fatalf("dispatched %v ops, want partial run past op 20", rep)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	keys := NewUniform(xrand.New(1), 10)
+	ok := funcTarget(func(context.Context, Op) OpResult { return OpResult{} })
+	for name, opts := range map[string]Options{
+		"zero qps": {QPS: 0, Ops: 10, Keys: keys},
+		"zero ops": {QPS: 10, Ops: 0, Keys: keys},
+		"nil keys": {QPS: 10, Ops: 10},
+	} {
+		if _, err := Run(context.Background(), ok, opts); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	if _, err := Run(context.Background(), nil, Options{QPS: 10, Ops: 10, Keys: keys}); err == nil {
+		t.Error("nil target: want error")
+	}
+}
+
+func TestLatencyHistSummary(t *testing.T) {
+	var h LatencyHist
+	if s := h.Summary(); s.N != 0 || s.P50Ms != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	h.Observe(-time.Second) // clamps to zero, never panics
+	s := h.Summary()
+	if s.N != 1001 {
+		t.Fatalf("N = %d, want 1001", s.N)
+	}
+	// Geometric buckets are 7%-wide: allow that plus the off-by-one
+	// from the clamped sample.
+	if s.P50Ms < 450 || s.P50Ms > 560 {
+		t.Errorf("p50 = %.1fms, want ~500ms", s.P50Ms)
+	}
+	if s.P99Ms < 900 || s.P99Ms > 1100 {
+		t.Errorf("p99 = %.1fms, want ~990ms", s.P99Ms)
+	}
+	if s.P999Ms < s.P99Ms {
+		t.Errorf("p999 %.1f < p99 %.1f", s.P999Ms, s.P99Ms)
+	}
+	if s.MaxMs != 1000 {
+		t.Errorf("max = %.1fms, want 1000", s.MaxMs)
+	}
+	if s.MeanMs < 480 || s.MeanMs > 520 {
+		t.Errorf("mean = %.1fms, want ~500", s.MeanMs)
+	}
+}
