@@ -36,6 +36,7 @@ import (
 	"gpuwalk"
 	"gpuwalk/internal/gpu"
 	"gpuwalk/internal/jobd"
+	"gpuwalk/internal/sim"
 )
 
 func main() {
@@ -61,6 +62,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pprofOn      = fs.Bool("pprof", false, "mount /debug/pprof/ on the API listener")
 		progCycles   = fs.Uint64("progress-cycles", gpu.DefaultProgressEvery, "simulated cycles between progress samples")
 		progInterval = fs.Duration("progress-interval", time.Second, "wall-clock cadence of progress SSE events")
+		journalDir   = fs.String("journal", "", "durable job journal directory; empty disables crash recovery (see docs/RELIABILITY.md)")
+		retryMax     = fs.Int("retry-max", 3, "total runs per job when failures are transient (1 = never retry)")
+		retryBase    = fs.Duration("retry-base", 500*time.Millisecond, "backoff before a job's first retry; doubles per retry")
+		retryCap     = fs.Duration("retry-cap", 30*time.Second, "ceiling on a job's retry backoff")
 		printVersion = fs.Bool("version", false, "print the simulator model version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +90,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// The journal makes accepted jobs survive a crash: replayed here at
+	// startup, re-enqueued by jobd, results resolved through the cache.
+	var journal *jobd.Journal
+	if *journalDir != "" {
+		journal, err = jobd.OpenJournal(*journalDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "gpuwalkd: opening journal: %v\n", err)
+			return 1
+		}
+		defer journal.Close()
+		if n := len(journal.Recovered()); n > 0 {
+			fmt.Fprintf(stdout, "gpuwalkd: journal replay: re-enqueueing %d interrupted jobs\n", n)
+		}
+	}
+
 	srv, err := jobd.NewServer(jobd.Options{
 		Runner:           newRunner(cache, *progCycles),
 		Workers:          *workers,
@@ -94,6 +114,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Logger:           logger,
 		ProgressInterval: *progInterval,
 		Pprof:            *pprofOn,
+		Journal:          journal,
+		Retryable:        transientSimError,
+		MaxAttempts:      *retryMax,
+		RetryBaseDelay:   *retryBase,
+		RetryMaxDelay:    *retryCap,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "gpuwalkd: %v\n", err)
@@ -156,6 +181,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		st.Hits, st.Misses, st.Puts)
 	logger.Info("exiting", "cache_hits", st.Hits, "cache_misses", st.Misses, "cache_puts", st.Puts)
 	return code
+}
+
+// transientSimError classifies a failed item's error for jobd's retry
+// machinery. Watchdog stalls are the transient class this simulator
+// actually produces — a different interleaving on the next run usually
+// clears them. Everything else (bad specs, panics, cache I/O) is
+// permanent: rerunning cannot fix it.
+func transientSimError(err error) bool {
+	var stall *sim.StallError
+	return errors.As(err, &stall)
 }
 
 // newLogger builds the process logger from the -log-format and

@@ -2,6 +2,11 @@
 // crash, a full disk, or a write error mid-stream never leaves a
 // truncated result file behind: the destination either keeps its old
 // contents or atomically receives the complete new ones.
+//
+// Writes are also durable against power loss: the temporary file is
+// fsynced before the rename and the parent directory after it, so once
+// WriteFile returns the new contents survive a kernel crash or power
+// cut, not just a process crash.
 package atomicio
 
 import (
@@ -13,7 +18,9 @@ import (
 // WriteFile streams write's output into a temporary file in path's
 // directory and renames it over path on success. On any error — from
 // write, the filesystem, or close — the temporary file is removed and
-// path is left untouched.
+// path is left untouched. The data is fsynced before the rename and
+// the directory entry after it, so a successful return means the file
+// is durable, not merely written to the page cache.
 func WriteFile(path string, write func(w io.Writer) error) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
@@ -25,6 +32,14 @@ func WriteFile(path string, write func(w io.Writer) error) error {
 	}
 	tmp := f.Name()
 	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Flush the payload to stable storage before publishing the name:
+	// rename-before-fsync can surface a zero-length or partial file
+	// after a power cut on some filesystems.
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -43,5 +58,22 @@ func WriteFile(path string, write func(w io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	// The rename is only durable once the directory entry itself is on
+	// disk.
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making recent renames and creates within
+// it durable. Callers that append to files they manage themselves
+// (journals) use it after creating or rotating the file.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

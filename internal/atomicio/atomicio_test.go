@@ -57,6 +57,38 @@ func TestWriteFileBadDir(t *testing.T) {
 	}
 }
 
+// TestWriteFileRelativePath covers the dir == "" branch (current
+// directory), which SyncDir must handle as ".".
+func TestWriteFileRelativePath(t *testing.T) {
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(orig) })
+	if err := WriteFile("rel.txt", func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, rerr := os.ReadFile("rel.txt")
+	if rerr != nil || string(got) != "x" {
+		t.Fatalf("content = %q, err = %v", got, rerr)
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("SyncDir on a missing directory did not fail")
+	}
+}
+
 // leftoverCheck asserts no temp files survived in dir besides want.
 func leftoverCheck(t *testing.T, dir, want string) {
 	t.Helper()

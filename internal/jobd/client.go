@@ -7,7 +7,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -26,6 +28,92 @@ type Client struct {
 	// no timeout (callers pass contexts; SSE streams outlive any fixed
 	// request timeout).
 	HTTP *http.Client
+	// Retry, when set, makes Submit/Job/Jobs retry transport errors
+	// and backpressure rejections (429/503/journal-500) with jittered
+	// exponential backoff, honoring the server's Retry-After header.
+	// Nil keeps the old single-try behavior — the load harness books
+	// rejections as rejections and must not mask them with retries.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy configures the client's automatic retries.
+//
+// Retried statuses are the ones the server marks retryable with a
+// Retry-After header: 429 (queue full), 503 (draining) and 500 with
+// Retry-After (journal hiccup). Transport errors retry too — note a
+// retried POST may double-submit if the first request was accepted
+// and its response lost; jobd jobs are dedup'd by the result cache,
+// so a duplicate costs a queue slot, never a wrong result.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// Values <= 1 mean a single try.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles each
+	// retry. Defaults to 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (and any Retry-After the server
+	// sends). Defaults to 5s.
+	MaxDelay time.Duration
+	// jitter returns a fraction in [0,1); tests inject a deterministic
+	// one. Nil uses math/rand.
+	jitter func() float64
+}
+
+// delay computes the wait before retry number attempt (1-based). The
+// server's Retry-After (seconds) is honored as given; otherwise the
+// exponential schedule applies with full jitter on its upper half, so
+// a fleet of clients rejected together does not retry together.
+func (p *RetryPolicy) delay(attempt int, retryAfter string) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if ra, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && ra >= 0 {
+		d := time.Duration(ra) * time.Second
+		if d > max {
+			d = max
+		}
+		return d
+	}
+	d := retryDelay(base, max, attempt)
+	frac := rand.Float64()
+	if p.jitter != nil {
+		frac = p.jitter()
+	}
+	// Full jitter over [d/2, d): deterministic floor, spread ceiling.
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// retryableStatus reports whether an HTTP status invites a retry. A
+// 500 counts only when the server stamped it with Retry-After (the
+// journal-rejection contract); other 500s are bugs, not backpressure.
+func retryableStatus(code int, retryAfter string) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return true
+	case http.StatusInternalServerError:
+		return retryAfter != ""
+	}
+	return false
+}
+
+// sleepCtx waits d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 var defaultHTTPClient = &http.Client{}
@@ -44,7 +132,7 @@ func (c *Client) url(path string) string {
 // apiError decodes the server's {"error": ...} body into a readable
 // error, mapping the backpressure statuses onto the server's sentinel
 // errors so callers can errors.Is against ErrQueueFull / ErrDraining.
-func apiError(resp *http.Response, body []byte) error {
+func apiError(code int, body []byte) error {
 	msg := strings.TrimSpace(string(body))
 	var e struct {
 		Error string `json:"error"`
@@ -52,38 +140,91 @@ func apiError(resp *http.Response, body []byte) error {
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
 		msg = e.Error
 	}
-	switch resp.StatusCode {
+	switch code {
 	case http.StatusTooManyRequests:
 		return fmt.Errorf("%w (%s)", ErrQueueFull, msg)
 	case http.StatusServiceUnavailable:
 		return fmt.Errorf("%w (%s)", ErrDraining, msg)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w (%s)", ErrNotFound, msg)
 	}
-	return fmt.Errorf("jobd: server returned %s: %s", resp.Status, msg)
+	return fmt.Errorf("jobd: server returned %d %s: %s", code, http.StatusText(code), msg)
+}
+
+// roundTrip performs one HTTP exchange and reads the whole body.
+// status is 0 on transport errors.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (b []byte, status int, retryAfter string, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc().Do(hreq)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	defer resp.Body.Close()
+	b, err = io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, 0, "", err
+	}
+	return b, resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+// do is roundTrip plus the client's retry policy: transport errors and
+// retryable statuses are re-tried with jittered exponential backoff
+// (honoring Retry-After) until the policy's attempts run out or ctx
+// expires. Without a policy it is a single try, exactly the old
+// behavior.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, wantStatus int) ([]byte, error) {
+	maxAttempts := 1
+	if c.Retry != nil && c.Retry.MaxAttempts > 1 {
+		maxAttempts = c.Retry.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		b, status, retryAfter, err := c.roundTrip(ctx, method, path, body)
+		switch {
+		case err == nil && status == wantStatus:
+			return b, nil
+		case err == nil:
+			lastErr = apiError(status, b)
+			if !retryableStatus(status, retryAfter) {
+				return nil, lastErr
+			}
+		default:
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+			retryAfter = ""
+		}
+		if attempt >= maxAttempts {
+			return nil, lastErr
+		}
+		if serr := sleepCtx(ctx, c.Retry.delay(attempt, retryAfter)); serr != nil {
+			return nil, fmt.Errorf("%w (retries aborted: %v)", lastErr, serr)
+		}
+	}
 }
 
 // Submit POSTs one job. Backpressure rejections surface as errors
-// matching ErrQueueFull (HTTP 429) or ErrDraining (HTTP 503).
+// matching ErrQueueFull (HTTP 429) or ErrDraining (HTTP 503) — after
+// the Retry policy, if any, is exhausted.
 func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobView, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return JobView{}, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
+	b, err := c.do(ctx, http.MethodPost, "/v1/jobs", body, http.StatusAccepted)
 	if err != nil {
 		return JobView{}, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpc().Do(hreq)
-	if err != nil {
-		return JobView{}, err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
-		return JobView{}, err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return JobView{}, apiError(resp, b)
 	}
 	var v JobView
 	if err := json.Unmarshal(b, &v); err != nil {
@@ -94,26 +235,22 @@ func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobView, error)
 
 // Job fetches one job's snapshot.
 func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
-	return c.getJSON(ctx, "/v1/jobs/"+id)
+	b, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, http.StatusOK)
+	if err != nil {
+		return JobView{}, err
+	}
+	var v JobView
+	if err := json.Unmarshal(b, &v); err != nil {
+		return JobView{}, fmt.Errorf("jobd: decoding job: %w", err)
+	}
+	return v, nil
 }
 
 // Jobs lists every job the server still retains, in admission order.
 func (c *Client) Jobs(ctx context.Context) ([]JobView, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs"), nil)
+	b, err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, http.StatusOK)
 	if err != nil {
 		return nil, err
-	}
-	resp, err := c.httpc().Do(hreq)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp, b)
 	}
 	var out struct {
 		Jobs []JobView `json:"jobs"`
@@ -122,30 +259,6 @@ func (c *Client) Jobs(ctx context.Context) ([]JobView, error) {
 		return nil, fmt.Errorf("jobd: decoding job list: %w", err)
 	}
 	return out.Jobs, nil
-}
-
-func (c *Client) getJSON(ctx context.Context, path string) (JobView, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
-	if err != nil {
-		return JobView{}, err
-	}
-	resp, err := c.httpc().Do(hreq)
-	if err != nil {
-		return JobView{}, err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return JobView{}, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return JobView{}, apiError(resp, b)
-	}
-	var v JobView
-	if err := json.Unmarshal(b, &v); err != nil {
-		return JobView{}, fmt.Errorf("jobd: decoding job: %w", err)
-	}
-	return v, nil
 }
 
 // WaitTerminal polls a job until it reaches a terminal state, ctx
@@ -190,7 +303,7 @@ func (c *Client) FirstProgress(ctx context.Context, id string) (d time.Duration,
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return 0, false, apiError(resp, b)
+		return 0, false, apiError(resp.StatusCode, b)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)

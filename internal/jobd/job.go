@@ -58,8 +58,9 @@ type Event struct {
 // Event types appended over a job's life.
 const (
 	EventQueued    = "queued"    // job admitted to the queue
-	EventStarted   = "started"   // a worker picked the job up
+	EventStarted   = "started"   // a worker picked the job up; data = {attempt}
 	EventItemDone  = "item_done" // one item finished; data = {index, cache_hit, error?}
+	EventRetrying  = "retrying"  // transient failure; data = {attempt, delay_ms, error}
 	EventDone      = "done"      // terminal: all items succeeded
 	EventFailed    = "failed"    // terminal: at least one item failed
 	EventCancelled = "cancelled" // terminal: drain or timeout cancelled the job
@@ -70,6 +71,22 @@ const (
 	// carry no id line, so reconnecting clients cannot resume from one.
 	EventProgress = "progress"
 )
+
+// PanicError is the error a job item carries when its Runner panicked.
+// The worker recovers the panic — one bad spec or a bug on one code
+// path must fail that job, not kill the daemon and every other job
+// with it — and preserves the stack for the post-mortem.
+type PanicError struct {
+	// Value is the panic value, stringified.
+	Value string
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return "jobd: runner panicked: " + e.Value + "\n" + e.Stack
+}
 
 // job is the server-side record. All fields are guarded by the
 // server's mutex; the exported snapshot type below is what handlers
@@ -83,6 +100,13 @@ type job struct {
 	err      string
 	items    []Item
 	events   []Event
+	// attempts counts how many times a worker has started the job
+	// (1 for a job that ran once). Transient failures requeue the job
+	// with backoff until Options.MaxAttempts is exhausted.
+	attempts int
+	// recovered marks a job re-enqueued from the journal after a
+	// restart rather than submitted over the API.
+	recovered bool
 	// waiters are signal channels for SSE streams blocked on new
 	// events; each is closed (once) when an event is appended or the
 	// job reaches a terminal state.
@@ -109,6 +133,12 @@ type JobView struct {
 	ItemsDone int `json:"items_done"`
 	// CacheHits counts items served from the result cache.
 	CacheHits int `json:"cache_hits"`
+	// Attempts is how many times a worker has started the job; more
+	// than 1 means transient failures were retried.
+	Attempts int `json:"attempts,omitempty"`
+	// Recovered marks a job re-enqueued from the durable journal after
+	// a daemon restart.
+	Recovered bool `json:"recovered,omitempty"`
 	// Progress is the job's live telemetry, present once the runner has
 	// reported (and kept, frozen, after the job finishes).
 	Progress *ProgressView `json:"progress,omitempty"`
@@ -121,13 +151,15 @@ type JobView struct {
 // view snapshots the job for marshalling. Caller holds the server lock.
 func (j *job) view() JobView {
 	v := JobView{
-		ID:       j.id,
-		State:    j.state,
-		Priority: j.priority,
-		Error:    j.err,
-		Items:    append([]Item(nil), j.items...),
-		Created:  j.created,
-		Progress: j.prog.snapshot(time.Now()),
+		ID:        j.id,
+		State:     j.state,
+		Priority:  j.priority,
+		Error:     j.err,
+		Items:     append([]Item(nil), j.items...),
+		Created:   j.created,
+		Attempts:  j.attempts,
+		Recovered: j.recovered,
+		Progress:  j.prog.snapshot(time.Now()),
 	}
 	for _, it := range j.items {
 		if it.Done {

@@ -23,6 +23,10 @@ type serverMetrics struct {
 	running   *obs.Metric // jobd_jobs_running
 	duration  *obs.Family // jobd_job_duration_seconds{state}
 	httpReqs  *obs.Family // jobd_http_requests_total{route,code}
+	panics    *obs.Metric // jobd_worker_panics_total
+	retries   *obs.Metric // jobd_job_retries_total
+	recovered *obs.Metric // jobd_jobs_recovered_total
+	backoff   *obs.Metric // jobd_jobs_backoff
 }
 
 // newServerMetrics registers the jobd families on a fresh set. start
@@ -43,6 +47,14 @@ func newServerMetrics(start time.Time) *serverMetrics {
 			"Wall-clock job duration from start to terminal state.",
 			obs.DefBuckets, "state"),
 		httpReqs: fs.NewCounter("jobd_http_requests_total", "HTTP requests served.", "route", "code"),
+		panics: fs.NewCounter("jobd_worker_panics_total",
+			"Runner panics recovered by the worker pool; each fails its job, never the daemon.").With(),
+		retries: fs.NewCounter("jobd_job_retries_total",
+			"Jobs requeued with backoff after a transient failure.").With(),
+		recovered: fs.NewCounter("jobd_jobs_recovered_total",
+			"Jobs re-enqueued from the durable journal at startup.").With(),
+		backoff: fs.NewGauge("jobd_jobs_backoff",
+			"Jobs waiting out a retry backoff before requeueing.").With(),
 	}
 	fs.GaugeFunc("jobd_uptime_seconds", "Seconds since the server started.", func() float64 {
 		return time.Since(start).Seconds()
@@ -51,6 +63,7 @@ func newServerMetrics(start time.Time) *serverMetrics {
 	// scrape shows the full family even before the first event.
 	m.rejected.With("draining")
 	m.rejected.With("queue_full")
+	m.rejected.With("journal")
 	m.finished.With(string(StateDone))
 	m.finished.With(string(StateFailed))
 	m.finished.With(string(StateCancelled))

@@ -9,7 +9,9 @@ import (
 	"log/slog"
 	"net/http"
 	netpprof "net/http/pprof"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,12 +61,44 @@ type Options struct {
 	// Off by default: the profiles expose internals, so enabling is an
 	// explicit operator decision (gpuwalkd's -pprof flag).
 	Pprof bool
+
+	// Journal, when set, makes accepted jobs durable: every lifecycle
+	// transition is fsynced to the journal, submissions are rejected if
+	// the journal write fails, and NewServer re-enqueues the journal's
+	// non-terminal jobs — in their original priority and admission
+	// order — before accepting new work. See docs/RELIABILITY.md.
+	Journal *Journal
+
+	// Retryable classifies a failed item's error as transient. When it
+	// is set and every failed item of a run classifies as transient,
+	// the job is requeued with capped exponential backoff instead of
+	// failing, until MaxAttempts runs are used up. Nil disables
+	// retries. Panics surface as *PanicError, so a classifier can (and
+	// usually should) decline them.
+	Retryable func(error) bool
+	// MaxAttempts bounds the total runs of one job (the initial run
+	// plus retries). Defaults to 3 when Retryable is set.
+	MaxAttempts int
+	// RetryBaseDelay is the backoff before the first retry; it doubles
+	// on each subsequent one. Defaults to 250ms.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff. Defaults to 15s.
+	RetryMaxDelay time.Duration
 }
 
 // Errors surfaced by Submit, mapped to HTTP statuses by the handler.
 var (
 	ErrDraining  = errors.New("jobd: server is draining, not accepting jobs")
 	ErrQueueFull = errors.New("jobd: job queue is full")
+	// ErrJournal marks a submission rejected because the durability
+	// journal could not record it: a job the server cannot make
+	// crash-safe is not acknowledged at all (HTTP 500).
+	ErrJournal = errors.New("jobd: journal write failed")
+	// ErrNotFound is returned by the client for HTTP 404: the job was
+	// never accepted, or finished and was dropped from the retained
+	// table (eviction, or a restart — terminal jobs are not recovered;
+	// their results live in the result cache).
+	ErrNotFound = errors.New("jobd: no such job")
 )
 
 // Server owns the queue, the worker pool and the job table.
@@ -89,6 +123,12 @@ type Server struct {
 	// running tracks the cancel funcs of in-flight jobs so an expired
 	// drain can abort them.
 	running map[string]context.CancelFunc
+
+	// backoff tracks the requeue timers of jobs waiting out a retry
+	// delay. Presence in the map is the claim protocol between the
+	// timer callback and Drain: whoever deletes the entry owns the
+	// job's next transition.
+	backoff map[string]*time.Timer
 
 	metrics   *serverMetrics
 	nextReqID atomic.Uint64
@@ -117,6 +157,17 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.ProgressInterval <= 0 {
 		opts.ProgressInterval = time.Second
 	}
+	if opts.Retryable != nil {
+		if opts.MaxAttempts <= 0 {
+			opts.MaxAttempts = 3
+		}
+		if opts.RetryBaseDelay <= 0 {
+			opts.RetryBaseDelay = 250 * time.Millisecond
+		}
+		if opts.RetryMaxDelay <= 0 {
+			opts.RetryMaxDelay = 15 * time.Second
+		}
+	}
 	log := opts.Logger
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -130,14 +181,64 @@ func NewServer(opts Options) (*Server, error) {
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		running:    make(map[string]context.CancelFunc),
+		backoff:    make(map[string]*time.Timer),
 		metrics:    newServerMetrics(time.Now()),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.recoverJobs()
 	for i := 0; i < opts.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// recoverJobs re-enqueues the journal's non-terminal jobs before the
+// worker pool starts, preserving their IDs, priorities and admission
+// order, so work accepted before a crash is work the restarted daemon
+// finishes. Items whose results already landed in the result cache
+// resolve instantly on re-run via the cache read-through.
+func (s *Server) recoverJobs() {
+	jl := s.opts.Journal
+	if jl == nil {
+		return
+	}
+	for _, r := range jl.Recovered() {
+		j := &job{
+			id:        r.ID,
+			priority:  r.Priority,
+			timeout:   r.Timeout,
+			seq:       r.Seq,
+			state:     StateQueued,
+			items:     make([]Item, len(r.Specs)),
+			created:   r.Created,
+			attempts:  r.Attempts,
+			recovered: true,
+		}
+		for i, sp := range r.Specs {
+			j.items[i].Spec = sp
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.queue.push(j)
+		j.appendEvent(EventQueued, map[string]any{"items": len(j.items), "recovered": true})
+		s.metrics.recovered.Inc()
+		s.log.Info("job recovered", "job_id", j.id, "items", len(j.items),
+			"priority", j.priority, "attempts", j.attempts)
+	}
+	if ms := jl.MaxSeq(); ms > s.nextSeq {
+		s.nextSeq = ms
+	}
+	s.metrics.queued.Set(float64(s.queue.Len()))
+	s.metrics.fams.GaugeFunc("jobd_journal_live_jobs",
+		"Jobs with journal records but no terminal record yet.",
+		func() float64 { return float64(jl.Stats().Live) })
+	s.metrics.fams.GaugeFunc("jobd_journal_records",
+		"Records in the current journal file (resets at compaction).",
+		func() float64 { return float64(jl.Stats().Records) })
+	s.metrics.fams.CounterFunc("jobd_journal_compactions_total",
+		"Journal file rewrites dropping records of finished jobs.",
+		func() float64 { return float64(jl.Stats().Compactions) })
 }
 
 // SubmitRequest is the POST /v1/jobs body. Exactly one of Spec and
@@ -207,6 +308,17 @@ func (s *Server) submit(req SubmitRequest, reqID string) (JobView, error) {
 	for i, sp := range specs {
 		j.items[i].Spec = sp
 	}
+	if jl := s.opts.Journal; jl != nil {
+		// Durability before acknowledgement: the fsynced accepted record
+		// is what makes the 202 a promise. If the journal cannot take
+		// it, the job is not admitted (the burned seq leaves a harmless
+		// gap in the ID space).
+		if err := jl.Accepted(j.id, j.seq, j.priority, j.timeout, specs, j.created, 0); err != nil {
+			s.metrics.rejected.With("journal").Inc()
+			s.log.Error("job rejected", "request_id", reqID, "reason", "journal", "error", err.Error())
+			return JobView{}, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictLocked()
@@ -263,6 +375,7 @@ func (s *Server) worker() {
 		}
 		j.state = StateRunning
 		j.started = time.Now()
+		j.attempts++
 		var ctx context.Context
 		var cancel context.CancelFunc
 		if j.timeout > 0 {
@@ -271,11 +384,18 @@ func (s *Server) worker() {
 			ctx, cancel = context.WithCancel(s.baseCtx)
 		}
 		s.running[j.id] = cancel
-		j.appendEvent(EventStarted, nil)
+		j.appendEvent(EventStarted, map[string]any{"attempt": j.attempts})
+		if jl := s.opts.Journal; jl != nil {
+			// A lost started record only costs a retry-budget reset on
+			// recovery; it never loses the job, so log and carry on.
+			if err := jl.Started(j.id, j.attempts); err != nil {
+				s.log.Error("journal append failed", "job_id", j.id, "record", "started", "error", err.Error())
+			}
+		}
 		s.metrics.queued.Set(float64(s.queue.Len()))
 		s.metrics.running.Set(float64(len(s.running)))
 		s.mu.Unlock()
-		s.log.Info("job started", "job_id", j.id, "items", len(j.items),
+		s.log.Info("job started", "job_id", j.id, "items", len(j.items), "attempt", j.attempts,
 			"queue_wait_ms", j.started.Sub(j.created).Milliseconds())
 
 		s.runJob(ctx, j)
@@ -288,19 +408,44 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes every item of j under ctx and moves j to a terminal
-// state. Items after a context cancellation are left unrun.
+// runItem executes one item's Runner call with the job's progress sink
+// attached, converting a panic into a *PanicError instead of letting
+// it unwind the worker goroutine: one poisonous spec must fail its own
+// job, never take down the daemon and every other job with it.
+func (s *Server) runItem(ctx context.Context, j *job, spec json.RawMessage) (result json.RawMessage, hit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Inc()
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+			s.log.Error("runner panic recovered", "job_id", j.id, "panic", fmt.Sprint(r))
+		}
+	}()
+	return s.opts.Runner(withProgress(ctx, j.prog.sink), spec)
+}
+
+// runJob executes every unfinished item of j under ctx and moves j to
+// a terminal state — or back to the queue with backoff, when every
+// failure this run was transient and attempts remain. Items after a
+// context cancellation are left unrun; items finished by a previous
+// attempt keep their results and are skipped.
 func (s *Server) runJob(ctx context.Context, j *job) {
+	// allRetryable narrows as failures arrive: the job requeues only if
+	// every failed item this run had a transient error.
+	allRetryable := s.opts.Retryable != nil
 	for i := range j.items {
 		if ctx.Err() != nil {
 			break
 		}
 		s.mu.Lock()
+		if j.items[i].Done {
+			s.mu.Unlock()
+			continue
+		}
 		spec := j.items[i].Spec
 		s.mu.Unlock()
 
 		j.prog.beginItem(i, time.Now())
-		result, hit, err := s.opts.Runner(withProgress(ctx, j.prog.sink), spec)
+		result, hit, err := s.runItem(ctx, j, spec)
 
 		s.mu.Lock()
 		if ctx.Err() != nil {
@@ -312,6 +457,9 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		it := &j.items[i]
 		it.Done = true
 		if err != nil {
+			if allRetryable && !s.opts.Retryable(err) {
+				allRetryable = false
+			}
 			it.Error = err.Error()
 			s.metrics.items.With("error").Inc()
 		} else {
@@ -345,6 +493,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		j.state = StateCancelled
 		j.err = fmt.Sprintf("job cancelled: %v", err)
 		j.appendEvent(EventCancelled, map[string]any{"reason": err.Error()})
+		s.journalTerminalLocked(j)
 		s.metrics.finishJob(StateCancelled, dur)
 		s.log.Warn("job cancelled", "job_id", j.id, "reason", err.Error(), "duration_ms", dur.Milliseconds())
 		return
@@ -356,17 +505,139 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		}
 	}
 	if failed > 0 {
+		if allRetryable && j.attempts < s.opts.MaxAttempts && !s.draining {
+			s.retryLocked(j, failed)
+			return
+		}
 		j.state = StateFailed
 		j.err = fmt.Sprintf("%d of %d items failed", failed, len(j.items))
-		j.appendEvent(EventFailed, map[string]any{"failed": failed})
+		if j.attempts > 1 {
+			j.err = fmt.Sprintf("%s (attempt %d of %d)", j.err, j.attempts, s.opts.MaxAttempts)
+		}
+		j.appendEvent(EventFailed, map[string]any{"failed": failed, "attempt": j.attempts})
+		s.journalTerminalLocked(j)
 		s.metrics.finishJob(StateFailed, dur)
-		s.log.Warn("job failed", "job_id", j.id, "failed_items", failed, "duration_ms", dur.Milliseconds())
+		s.log.Warn("job failed", "job_id", j.id, "failed_items", failed, "attempt", j.attempts,
+			"duration_ms", dur.Milliseconds())
 		return
 	}
 	j.state = StateDone
 	j.appendEvent(EventDone, nil)
+	s.journalTerminalLocked(j)
 	s.metrics.finishJob(StateDone, dur)
 	s.log.Info("job done", "job_id", j.id, "items", len(j.items), "duration_ms", dur.Milliseconds())
+}
+
+// retryLocked sends a transiently-failed job back toward the queue
+// after a capped exponential backoff. Failed items are reset (finished
+// ones keep their results); the attempt counter survives in the job,
+// the journal, the API and the SSE stream. Caller holds the lock and
+// has verified attempts remain.
+func (s *Server) retryLocked(j *job, failed int) {
+	delay := retryDelay(s.opts.RetryBaseDelay, s.opts.RetryMaxDelay, j.attempts)
+	firstErr := ""
+	for i := range j.items {
+		if j.items[i].Error != "" {
+			if firstErr == "" {
+				firstErr = j.items[i].Error
+			}
+			j.items[i] = Item{Spec: j.items[i].Spec}
+		}
+	}
+	j.state = StateQueued
+	j.err = ""
+	j.finished = time.Time{}
+	j.appendEvent(EventRetrying, map[string]any{
+		"attempt":  j.attempts,
+		"delay_ms": delay.Milliseconds(),
+		"failed":   failed,
+		"error":    truncateErr(firstErr),
+	})
+	if jl := s.opts.Journal; jl != nil {
+		if err := jl.Retrying(j.id, j.attempts, truncateErr(firstErr)); err != nil {
+			s.log.Error("journal append failed", "job_id", j.id, "record", "retrying", "error", err.Error())
+		}
+	}
+	s.metrics.retries.Inc()
+	s.metrics.backoff.AddGauge(1)
+	s.log.Warn("job retrying", "job_id", j.id, "attempt", j.attempts,
+		"max_attempts", s.opts.MaxAttempts, "delay_ms", delay.Milliseconds(), "failed_items", failed)
+	s.backoff[j.id] = time.AfterFunc(delay, func() { s.requeueAfterBackoff(j) })
+}
+
+// requeueAfterBackoff is the backoff timer's callback: put the job
+// back in the queue, unless a drain claimed it first (entry gone) or
+// began while the timer was in flight (cancel it here).
+func (s *Server) requeueAfterBackoff(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.backoff[j.id]; !ok {
+		return // drain already settled this job
+	}
+	delete(s.backoff, j.id)
+	s.metrics.backoff.AddGauge(-1)
+	if s.draining {
+		s.cancelPendingLocked(j, "server draining")
+		return
+	}
+	s.queue.push(j)
+	s.metrics.queued.Set(float64(s.queue.Len()))
+	s.log.Info("job requeued", "job_id", j.id, "attempt", j.attempts)
+	s.cond.Signal()
+}
+
+// cancelPendingLocked moves a queued (or backoff-pending) job to
+// cancelled, with the event, journal record and metrics every terminal
+// transition gets. Caller holds the lock.
+func (s *Server) cancelPendingLocked(j *job, reason string) {
+	j.state = StateCancelled
+	j.err = "job cancelled: " + reason
+	j.finished = time.Now()
+	j.appendEvent(EventCancelled, map[string]any{"reason": reason})
+	s.journalTerminalLocked(j)
+	s.metrics.finishJob(StateCancelled, 0)
+	s.log.Warn("job cancelled", "job_id", j.id, "reason", reason)
+}
+
+// journalTerminalLocked records a terminal transition in the journal,
+// if one is configured. Losing a terminal record is safe — the job
+// would be re-run on recovery and resolve from the result cache — so
+// failures are logged, not propagated. Caller holds the lock.
+func (s *Server) journalTerminalLocked(j *job) {
+	jl := s.opts.Journal
+	if jl == nil {
+		return
+	}
+	if err := jl.Terminal(j.id, j.state, j.err); err != nil {
+		s.log.Error("journal append failed", "job_id", j.id, "record", "terminal", "error", err.Error())
+	}
+}
+
+// retryDelay is the capped exponential backoff schedule: base doubles
+// per attempt already used, clamped to max.
+func retryDelay(base, max time.Duration, attempts int) time.Duration {
+	d := base
+	for i := 1; i < attempts; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// truncateErr bounds error text carried in events and journal records:
+// a watchdog stall dump can run to kilobytes, and the first lines are
+// the informative ones.
+func truncateErr(s string) string {
+	const max = 500
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + " …(truncated)"
 }
 
 // evictLocked drops the oldest terminal jobs once the table exceeds
@@ -412,18 +683,24 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		s.log.Info("drain started", "queued", s.queue.Len(), "running", len(s.running))
+		s.log.Info("drain started", "queued", s.queue.Len(),
+			"running", len(s.running), "backoff", len(s.backoff))
 		for {
 			j := s.queue.pop()
 			if j == nil {
 				break
 			}
-			j.state = StateCancelled
-			j.err = "job cancelled: server draining"
-			j.finished = time.Now()
-			j.appendEvent(EventCancelled, map[string]any{"reason": "server draining"})
-			s.metrics.finishJob(StateCancelled, 0)
-			s.log.Warn("job cancelled", "job_id", j.id, "reason", "server draining")
+			s.cancelPendingLocked(j, "server draining")
+		}
+		// Jobs waiting out a retry backoff are queued in spirit: settle
+		// them too. Stopping the timer claims the job; a timer that
+		// already fired is blocked on our lock and will see draining.
+		for id, timer := range s.backoff {
+			if timer.Stop() {
+				delete(s.backoff, id)
+				s.metrics.backoff.AddGauge(-1)
+				s.cancelPendingLocked(s.jobs[id], "server draining")
+			}
 		}
 		s.metrics.queued.Set(0)
 		s.cond.Broadcast()
@@ -575,6 +852,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrJournal):
+		// Durability failed, the job was not admitted; the condition is
+		// usually transient (disk pressure), so invite a retry.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusInternalServerError, err.Error())
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err.Error())
 	default:
@@ -609,6 +891,15 @@ type progressEvent struct {
 // progress, synthetic `progress` events (never stored in the log, no
 // id line) interleave at Options.ProgressInterval, with one final
 // progress event guaranteed immediately before the terminal event.
+//
+// Every log event carries an id line (its Seq), so a dropped client
+// can reconnect with a Last-Event-ID header and resume exactly after
+// the last event it saw: the replay starts at Seq+1, preceded by one
+// fresh progress snapshot (if the job has ever reported) so the
+// client's live telemetry is current immediately, not at the next
+// progress tick. Event IDs are per-daemon-lifetime: after a restart,
+// recovered jobs rebuild their logs and an out-of-range Last-Event-ID
+// simply clamps to a full replay from wherever the new log stands.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -617,6 +908,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such job")
 		return
+	}
+	next := 0
+	resumed := false
+	if lei := strings.TrimSpace(r.Header.Get("Last-Event-ID")); lei != "" {
+		if n, err := strconv.Atoi(lei); err == nil && n >= 0 {
+			next = n + 1
+			resumed = true
+		}
 	}
 	fl, canFlush := w.(http.Flusher)
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -646,9 +945,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return err == nil
 	}
 
-	next := 0
+	if resumed {
+		// A reconnecting client replays from where it left off; give it
+		// the latest progress snapshot up front so its telemetry is
+		// fresh before the log resumes.
+		if !writeProgress() {
+			return
+		}
+		if canFlush {
+			fl.Flush()
+		}
+	}
+
 	for {
 		s.mu.Lock()
+		if next > len(j.events) {
+			// Last-Event-ID beyond this log (e.g. from before a daemon
+			// restart rebuilt it): clamp rather than slice out of range.
+			next = len(j.events)
+		}
 		events := j.events[next:]
 		next = len(j.events)
 		terminal := j.state.Terminal()
