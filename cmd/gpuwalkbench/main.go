@@ -30,6 +30,7 @@ import (
 
 	"gpuwalk"
 	"gpuwalk/internal/atomicio"
+	"gpuwalk/internal/cluster"
 	"gpuwalk/internal/jobd"
 	"gpuwalk/internal/loadgen"
 	"gpuwalk/internal/xrand"
@@ -65,6 +66,7 @@ type benchFlags struct {
 
 	waitTimeout time.Duration
 	out         string
+	retries     int
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -92,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&f.sweep, "sweep", "", "comma-separated QPS steps for the saturation sweep ('' = skip)")
 	fs.DurationVar(&f.waitTimeout, "wait-timeout", 2*time.Minute, "per-phase deadline (run + drain)")
 	fs.StringVar(&f.out, "out", "BENCH_load.json", "metrics JSON output path ('' = don't write)")
+	fs.IntVar(&f.retries, "retry", 1, "attempts per request incl. the first; >1 absorbs cluster failover 502s but masks rejections, so the default measures them")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -107,10 +110,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	client := &jobd.Client{BaseURL: f.addr}
+	if f.retries > 1 {
+		client.Retry = &jobd.RetryPolicy{MaxAttempts: f.retries}
+	}
 	if err := checkHealth(client, f.addr); err != nil {
 		fmt.Fprintf(stderr, "gpuwalkbench: %v\n", err)
 		return 1
 	}
+	reportCluster(stdout, f.addr)
 
 	b := &bench{f: f, client: client, stdout: stdout}
 	if err := b.runAll(); err != nil {
@@ -154,6 +161,29 @@ func checkHealth(c *jobd.Client, addr string) error {
 		return fmt.Errorf("server at %s is not healthy: %s", addr, resp.Status)
 	}
 	return nil
+}
+
+// reportCluster prints the target's cluster topology when the address
+// is a gateway (a /v1/cluster endpoint answers). Standalone daemons
+// have no such endpoint; silence there is the expected outcome, not an
+// error, so the probe failure is swallowed.
+func reportCluster(stdout io.Writer, addr string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := cluster.FetchStatus(ctx, nil, addr)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(stdout, "cluster gateway: %d/%d nodes healthy (%d vnodes, %d ring rebuilds)\n",
+		st.Healthy, len(st.Members), st.VNodes, st.RingRebuilds)
+	for _, n := range st.Members {
+		state := "up"
+		if !n.Healthy {
+			state = "down"
+		}
+		fmt.Fprintf(stdout, "  node %s: %s, owns %.1f%% of the key space\n",
+			n.Node, state, n.OwnedFraction*100)
+	}
 }
 
 // bench accumulates each phase's measurements.

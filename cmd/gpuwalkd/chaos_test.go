@@ -81,11 +81,11 @@ func startChaosServer(t *testing.T, args []string) *chaosServer {
 	}
 }
 
-// chaosSpec is a tiny two-scheduler sweep whose workload varies with
-// seed, so every job is distinct work (no accidental cross-job cache
-// hits hiding lost computation).
-func chaosSpec(t *testing.T, sched gpuwalk.SchedulerKind, seed uint64) json.RawMessage {
-	t.Helper()
+// chaosCfg is a tiny simulation whose workload varies with seed, so
+// every job is distinct work (no accidental cross-job cache hits
+// hiding lost computation). The cluster test also hashes these configs
+// client-side to predict ring placement.
+func chaosCfg(sched gpuwalk.SchedulerKind, seed uint64) gpuwalk.Config {
 	cfg := gpuwalk.DefaultConfig()
 	cfg.GPU.CUs = 2
 	cfg.Scheduler = sched
@@ -93,7 +93,13 @@ func chaosSpec(t *testing.T, sched gpuwalk.SchedulerKind, seed uint64) json.RawM
 	cfg.Gen.WavefrontsPerCU = 2
 	cfg.Gen.InstrsPerWavefront = 6
 	cfg.Seed = seed
-	b, err := json.Marshal(cfg)
+	return cfg
+}
+
+// chaosSpec marshals one chaosCfg as a job spec.
+func chaosSpec(t *testing.T, sched gpuwalk.SchedulerKind, seed uint64) json.RawMessage {
+	t.Helper()
+	b, err := json.Marshal(chaosCfg(sched, seed))
 	if err != nil {
 		t.Fatal(err)
 	}

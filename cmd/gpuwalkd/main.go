@@ -34,10 +34,23 @@ import (
 	"time"
 
 	"gpuwalk"
+	"gpuwalk/internal/cluster"
 	"gpuwalk/internal/gpu"
 	"gpuwalk/internal/jobd"
 	"gpuwalk/internal/sim"
 )
+
+// splitPeers turns the -peers flag into a URL list (empty entries
+// dropped; normalization and validation happen in cluster).
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -66,6 +79,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		retryMax     = fs.Int("retry-max", 3, "total runs per job when failures are transient (1 = never retry)")
 		retryBase    = fs.Duration("retry-base", 500*time.Millisecond, "backoff before a job's first retry; doubles per retry")
 		retryCap     = fs.Duration("retry-cap", 30*time.Second, "ceiling on a job's retry backoff")
+		gatewayMode  = fs.Bool("gateway", false, "run as a cluster gateway instead of a backend (requires -peers; see docs/CLUSTER.md)")
+		peersFlag    = fs.String("peers", "", "comma-separated cluster node URLs (the same full list on every node and the gateway)")
+		selfURL      = fs.String("self", "", "this node's URL within -peers; enables cache peering on a backend")
+		nodeName     = fs.String("node", "", "node name label on jobs and metrics (default: host:port of -self)")
+		vnodes       = fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the consistent-hash ring")
+		probeEvery   = fs.Duration("probe-interval", 2*time.Second, "cluster health-probe cadence")
 		printVersion = fs.Bool("version", false, "print the simulator model version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +93,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *printVersion {
 		fmt.Fprintln(stdout, gpuwalk.SimVersion)
 		return 0
+	}
+	if *gatewayMode {
+		return runGateway(gatewayConfig{
+			addr:       *addr,
+			peers:      splitPeers(*peersFlag),
+			vnodes:     *vnodes,
+			probeEvery: *probeEvery,
+			drainWait:  *drainWait,
+			logFormat:  *logFormat,
+			logLevel:   *logLevel,
+		}, stdout, stderr)
 	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -105,7 +135,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	srv, err := jobd.NewServer(jobd.Options{
+	// Cluster peering, backend side: a membership over the shared peer
+	// list lets this node fetch a missed key from its ring owner before
+	// simulating, and the /v1/cache endpoint serves the same favor to
+	// peers. The gateway does the routing; a backend only needs to know
+	// who owns what.
+	var member *cluster.Membership
+	var peering *cluster.Peering
+	nodeLabel := *nodeName
+	if *selfURL != "" {
+		if *peersFlag == "" {
+			fmt.Fprintln(stderr, "gpuwalkd: -self requires -peers")
+			return 2
+		}
+		member, err = cluster.NewMembership(cluster.MemberOptions{
+			Peers:         splitPeers(*peersFlag),
+			VNodes:        *vnodes,
+			ProbeInterval: *probeEvery,
+			Logger:        logger,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "gpuwalkd: %v\n", err)
+			return 2
+		}
+		peering, err = cluster.NewPeering(member, *selfURL, 0, logger)
+		if err != nil {
+			fmt.Fprintf(stderr, "gpuwalkd: %v\n", err)
+			return 2
+		}
+		cache.SetPeer(peering)
+		if nodeLabel == "" {
+			nodeLabel = cluster.NodeName(peering.Self())
+		}
+	}
+
+	opts := jobd.Options{
 		Runner:           newRunner(cache, *progCycles),
 		Workers:          *workers,
 		QueueSize:        *queueSize,
@@ -119,12 +183,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxAttempts:      *retryMax,
 		RetryBaseDelay:   *retryBase,
 		RetryMaxDelay:    *retryCap,
-	})
+		NodeName:         nodeLabel,
+	}
+	if peering != nil {
+		// Peers are served from the local store only (GetLocal): a miss
+		// here answers 404 and the asking node simulates, rather than this
+		// node fetching from a third party on the asker's behalf.
+		opts.CacheGet = func(key string) ([]byte, bool) {
+			b, ok, err := cache.GetLocal(key)
+			return b, ok && err == nil
+		}
+	}
+	srv, err := jobd.NewServer(opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "gpuwalkd: %v\n", err)
 		return 1
 	}
 	cache.RegisterMetrics(srv.Metrics(), "gpuwalkd_cache")
+	if peering != nil {
+		peering.RegisterMetrics(srv.Metrics())
+	}
 	srv.Metrics().NewGauge("gpuwalkd_build_info",
 		"Build metadata; the value is always 1.",
 		"go_version", "model_version").
@@ -148,6 +226,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ln.Addr(), *cacheDir, *workers)
 	logger.Info("listening", "addr", ln.Addr().String(), "cache", *cacheDir,
 		"workers", *workers, "pprof", *pprofOn, "model_version", gpuwalk.SimVersion)
+	if member != nil {
+		// Probing starts only now that the listener is up, so the first
+		// synchronous round can see this node (and simultaneously starting
+		// peers) as healthy.
+		member.Start()
+		defer member.Close()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

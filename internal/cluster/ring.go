@@ -1,0 +1,169 @@
+// Package cluster shards gpuwalkd horizontally: a deterministic
+// consistent-hash ring assigns every result-cache key (the SHA-256
+// ConfigHash that content-addresses a simulation) to one owning node,
+// a gateway routes job submissions to the owner and proxies reads and
+// SSE streams back, and nodes answer local cache misses by
+// read-through to the peer that owns the key before paying for a
+// simulation.
+//
+// The ring is a pure function of the member list: any process that
+// knows the same node URLs builds bit-identical token tables, so the
+// gateway, every backend, and an offline test all agree on ownership
+// without coordination. Health probes shrink the member list when a
+// node stops answering, which deterministically reassigns exactly the
+// dead node's token ranges to the survivors; when it returns, the
+// identical ranges return to it, and cache peering repatriates results
+// computed elsewhere in the meantime.
+//
+// See docs/CLUSTER.md for construction, routing, peering and failure
+// semantics.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member used when Options
+// leave it zero. 64 tokens per node keeps the ownership imbalance of a
+// small cluster within a few percent while the token table stays tiny.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash token table over a set of node
+// IDs. Build one with BuildRing; methods are safe for concurrent use
+// because nothing mutates after construction.
+type Ring struct {
+	nodes  []string // sorted member IDs
+	vnodes int
+	tokens []token // sorted by position
+}
+
+// token is one virtual node: a position on the 2^64 ring owned by a node.
+type token struct {
+	pos  uint64
+	node int // index into nodes
+}
+
+// BuildRing constructs the ring for the given members with vnodes
+// virtual nodes each (DefaultVNodes when <= 0). Construction is
+// deterministic and order-insensitive: members are sorted and token
+// positions derive only from member IDs, so every caller that passes
+// the same set — in any order, built incrementally or at once — gets
+// an identical ring. Duplicate members are collapsed.
+func BuildRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	nodes := dedupSorted(members)
+	r := &Ring{nodes: nodes, vnodes: vnodes, tokens: make([]token, 0, len(nodes)*vnodes)}
+	for i, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.tokens = append(r.tokens, token{pos: tokenPos(n, v), node: i})
+		}
+	}
+	sort.Slice(r.tokens, func(a, b int) bool {
+		ta, tb := r.tokens[a], r.tokens[b]
+		if ta.pos != tb.pos {
+			return ta.pos < tb.pos
+		}
+		// A full-width hash collision between distinct vnodes is all but
+		// impossible, but the tie-break keeps the ring a pure function of
+		// the member set even then.
+		return r.nodes[ta.node] < r.nodes[tb.node]
+	})
+	return r
+}
+
+// dedupSorted returns a sorted copy of members with duplicates and
+// empty strings removed.
+func dedupSorted(members []string) []string {
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		if m != "" {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	j := 0
+	for i, m := range out {
+		if i == 0 || m != out[j-1] {
+			out[j] = m
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// tokenPos places virtual node v of a member on the ring: the first
+// eight bytes of SHA-256(member "#" v), big-endian. SHA-256 (rather
+// than a faster non-cryptographic hash) keeps placement uniform for
+// adversarially similar member names and matches the hash family the
+// cache keys already use.
+func tokenPos(member string, v int) uint64 {
+	sum := sha256.Sum256([]byte(member + "#" + strconv.Itoa(v)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// HashKey maps an arbitrary key string to its ring position. Cache
+// keys are already SHA-256 hex, but hashing again costs little and
+// makes every key — including fallback routing keys for uncacheable
+// specs — uniform on the ring.
+func HashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member owning key: the node of the first token at
+// or clockwise after the key's position, wrapping at the top of the
+// ring. An empty ring owns nothing and returns "".
+func (r *Ring) Owner(key string) string {
+	return r.OwnerAt(HashKey(key))
+}
+
+// OwnerAt is Owner for a pre-computed ring position.
+func (r *Ring) OwnerAt(pos uint64) string {
+	if len(r.tokens) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.tokens), func(i int) bool { return r.tokens[i].pos >= pos })
+	if i == len(r.tokens) {
+		i = 0 // wrap
+	}
+	return r.nodes[r.tokens[i].node]
+}
+
+// Members returns the sorted member IDs the ring was built from.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Ownership returns each member's fraction of the ring's key space —
+// the sum of the arc lengths its tokens own — for the /v1/cluster
+// status view and load-balance checks. Fractions sum to 1 for a
+// non-empty ring.
+func (r *Ring) Ownership() map[string]float64 {
+	out := make(map[string]float64, len(r.nodes))
+	if len(r.tokens) == 0 {
+		return out
+	}
+	for i, t := range r.tokens {
+		// Token i owns the arc from the previous token (exclusive) to
+		// itself (inclusive); the first token owns the wrap-around arc.
+		var arc uint64
+		if i == 0 {
+			arc = r.tokens[0].pos + (^uint64(0) - r.tokens[len(r.tokens)-1].pos) + 1
+		} else {
+			arc = t.pos - r.tokens[i-1].pos
+		}
+		out[r.nodes[t.node]] += float64(arc) / (1 << 64)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func testMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8077", i+1)
+	}
+	return out
+}
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real routing keys (hex ConfigHash-ish), but any
+		// distinct strings exercise the same code path.
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDeterministicAcrossOrderings is the property the whole
+// design leans on: the ring is a pure function of the member SET, so
+// shuffled, duplicated, and differently-ordered member lists must
+// produce identical assignments for a large key sample.
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	members := testMembers(7)
+	keys := sampleKeys(5000)
+	ref := BuildRing(members, 0)
+	want := make([]string, len(keys))
+	for i, k := range keys {
+		want[i] = ref.Owner(k)
+	}
+
+	rng := rand.New(rand.NewPCG(42, 0))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// Duplicates must collapse, not shift tokens.
+		if trial%3 == 0 {
+			shuffled = append(shuffled, shuffled[rng.IntN(len(shuffled))])
+		}
+		r := BuildRing(shuffled, 0)
+		for i, k := range keys {
+			if got := r.Owner(k); got != want[i] {
+				t.Fatalf("trial %d: Owner(%q) = %q, want %q", trial, k, got, want[i])
+			}
+		}
+	}
+}
+
+// TestRingBoundedDisruption: removing one of N members must remap only
+// the keys that member owned — about 1/N of a large sample — and every
+// surviving key must keep its owner. This is the invariant that makes
+// a node kill cheap: survivors keep their cache locality.
+func TestRingBoundedDisruption(t *testing.T) {
+	const n = 8
+	members := testMembers(n)
+	keys := sampleKeys(20000)
+	full := BuildRing(members, 0)
+
+	for kill := 0; kill < n; kill++ {
+		var survivors []string
+		for i, m := range members {
+			if i != kill {
+				survivors = append(survivors, m)
+			}
+		}
+		reduced := BuildRing(survivors, 0)
+		moved := 0
+		for _, k := range keys {
+			before, after := full.Owner(k), reduced.Owner(k)
+			if before == after {
+				continue
+			}
+			if before != members[kill] {
+				t.Fatalf("key %q moved %q -> %q although %q was the member removed",
+					k, before, after, members[kill])
+			}
+			moved++
+		}
+		frac := float64(moved) / float64(len(keys))
+		// The removed node owned ~1/N in expectation; allow generous
+		// vnode-variance headroom (ε = 1/N) while still catching a
+		// modulo-style rehash, which would move ~(N-1)/N of the keys.
+		if eps := 1.0 / n; frac > 1.0/n+eps {
+			t.Fatalf("removing member %d remapped %.3f of keys, want <= %.3f", kill, frac, 1.0/n+eps)
+		}
+		if moved == 0 {
+			t.Fatalf("removing member %d remapped nothing; sample cannot be this lucky", kill)
+		}
+	}
+}
+
+// TestRingAdditionIsInverseOfRemoval: re-adding the removed member
+// restores the original assignment exactly — the property cache
+// repatriation relies on after a node restart.
+func TestRingAdditionIsInverseOfRemoval(t *testing.T) {
+	members := testMembers(5)
+	keys := sampleKeys(2000)
+	full := BuildRing(members, 0)
+	rebuilt := BuildRing(append(testMembers(4), members[4]), 0)
+	for _, k := range keys {
+		if full.Owner(k) != rebuilt.Owner(k) {
+			t.Fatalf("rebuild changed Owner(%q): %q vs %q", k, full.Owner(k), rebuilt.Owner(k))
+		}
+	}
+}
+
+// TestRingOwnershipBalance: with DefaultVNodes, no member should own a
+// wildly disproportionate share, and fractions must sum to 1.
+func TestRingOwnershipBalance(t *testing.T) {
+	const n = 5
+	r := BuildRing(testMembers(n), 0)
+	own := r.Ownership()
+	if len(own) != n {
+		t.Fatalf("Ownership has %d members, want %d", len(own), n)
+	}
+	sum := 0.0
+	for m, f := range own {
+		sum += f
+		if f < 0.5/n || f > 2.0/n {
+			t.Errorf("member %s owns %.3f of the ring; want within [%.3f, %.3f]", m, f, 0.5/n, 2.0/n)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ownership fractions sum to %v, want 1", sum)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := BuildRing(nil, 0).Owner("anything"); got != "" {
+		t.Fatalf("empty ring Owner = %q, want \"\"", got)
+	}
+	one := BuildRing([]string{"http://a:1"}, 0)
+	for _, k := range sampleKeys(50) {
+		if got := one.Owner(k); got != "http://a:1" {
+			t.Fatalf("single-member ring Owner(%q) = %q", k, got)
+		}
+	}
+}
+
+func TestRingVNodesDefaulting(t *testing.T) {
+	r := BuildRing(testMembers(3), 0)
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("VNodes = %d, want %d", r.VNodes(), DefaultVNodes)
+	}
+	if got := len(r.tokens); got != 3*DefaultVNodes {
+		t.Fatalf("token count = %d, want %d", got, 3*DefaultVNodes)
+	}
+	if r2 := BuildRing(testMembers(3), 16); len(r2.tokens) != 3*16 {
+		t.Fatalf("token count with vnodes=16: %d, want %d", len(r2.tokens), 48)
+	}
+}

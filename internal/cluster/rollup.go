@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpuwalk/internal/obs"
+)
+
+// WriteRollup re-emits the metrics of several nodes as one exposition
+// document, injecting a `node` label on every sample so one gateway
+// scrape distinguishes every backend's series. docs maps node name
+// (host:port) to that node's parsed /metrics.
+//
+// HELP and TYPE are emitted once per family (first node in sorted
+// order wins on the rare disagreement — e.g. mixed binary versions
+// during a rolling restart); within a family, samples appear in node
+// order and keep each node's original sample order, which preserves
+// ascending histogram buckets. Output is deterministic for fixed
+// inputs, matching the contract of obs.FamilySet.WriteText.
+func WriteRollup(w io.Writer, docs map[string]*obs.PromText) error {
+	nodes := make([]string, 0, len(docs))
+	for n := range docs {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	type family struct {
+		name, help, typ string
+		lines           []string
+	}
+	fams := make(map[string]*family)
+	order := []string{}
+	get := func(name string) *family {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{name: name}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, node := range nodes {
+		doc := docs[node]
+		for _, s := range doc.Samples {
+			f := get(baseFamily(doc, s.Name))
+			if f.typ == "" {
+				f.typ = doc.Types[f.name]
+				f.help = doc.Help[f.name]
+			}
+			f.lines = append(f.lines, renderSample(node, s))
+		}
+	}
+	sort.Strings(order)
+
+	bw := bufio.NewWriterSize(w, 1<<14)
+	for _, name := range order {
+		f := fams[name]
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+		}
+		if f.typ != "" {
+			bw.WriteString("# TYPE ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.typ)
+			bw.WriteByte('\n')
+		}
+		for _, l := range f.lines {
+			bw.WriteString(l)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// baseFamily maps a sample name back to its family: histogram series
+// (_bucket/_sum/_count) roll up under their declared base name.
+func baseFamily(doc *obs.PromText, sample string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if trimmed := strings.TrimSuffix(sample, suf); trimmed != sample && doc.Types[trimmed] == "histogram" {
+			return trimmed
+		}
+	}
+	return sample
+}
+
+// renderSample re-renders one sample with the node label prepended.
+// The node label goes first and the original labels keep their parsed
+// (sorted) order, so a node's series are textually adjacent.
+func renderSample(node string, s obs.PromSample) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteString(`{node="`)
+	b.WriteString(escapeLabel(node))
+	b.WriteByte('"')
+	for _, l := range s.Labels {
+		b.WriteByte(',')
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteString("} ")
+	b.WriteString(formatValue(s.Value))
+	return b.String()
+}
+
+// escapeLabel escapes backslash, double quote, and newline — the
+// exposition format's label-value escapes (mirrors the unexported
+// escaper in obs).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the same way obs.WriteText does:
+// integers bare, floats in shortest round-trip form, infinities named.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -39,8 +39,9 @@ type Client struct {
 // RetryPolicy configures the client's automatic retries.
 //
 // Retried statuses are the ones the server marks retryable with a
-// Retry-After header: 429 (queue full), 503 (draining) and 500 with
-// Retry-After (journal hiccup). Transport errors retry too — note a
+// Retry-After header: 429 (queue full), 503 (draining), 500 with
+// Retry-After (journal hiccup), plus the cluster gateway's 502/504
+// (backend down; the ring reroutes). Transport errors retry too — note a
 // retried POST may double-submit if the first request was accepted
 // and its response lost; jobd jobs are dedup'd by the result cache,
 // so a duplicate costs a queue slot, never a wrong result.
@@ -91,9 +92,13 @@ func (p *RetryPolicy) delay(attempt int, retryAfter string) time.Duration {
 // retryableStatus reports whether an HTTP status invites a retry. A
 // 500 counts only when the server stamped it with Retry-After (the
 // journal-rejection contract); other 500s are bugs, not backpressure.
+// 502 and 504 retry for gateway-aware submission: a cluster gateway
+// answers them (with Retry-After) while a backend is down, and the
+// next attempt reroutes to wherever the rebuilt ring points.
 func retryableStatus(code int, retryAfter string) bool {
 	switch code {
-	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
 		return true
 	case http.StatusInternalServerError:
 		return retryAfter != ""
@@ -259,6 +264,26 @@ func (c *Client) Jobs(ctx context.Context) ([]JobView, error) {
 		return nil, fmt.Errorf("jobd: decoding job list: %w", err)
 	}
 	return out.Jobs, nil
+}
+
+// Health probes the server's /healthz, returning nil on 200. It does
+// not use the retry policy: health checks want the current truth, and
+// the cluster prober depends on a prompt verdict.
+func (c *Client) Health(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/healthz"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return apiError(resp.StatusCode, b)
+	}
+	return nil
 }
 
 // WaitTerminal polls a job until it reaches a terminal state, ctx

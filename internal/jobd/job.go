@@ -142,14 +142,19 @@ type JobView struct {
 	// Progress is the job's live telemetry, present once the runner has
 	// reported (and kept, frozen, after the job finishes).
 	Progress *ProgressView `json:"progress,omitempty"`
+	// Node names the server that holds this job (Options.NodeName).
+	// Empty on standalone daemons; in a cluster it tells gateway clients
+	// and tests where consistent-hash routing actually placed the job.
+	Node string `json:"node,omitempty"`
 
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
 }
 
-// view snapshots the job for marshalling. Caller holds the server lock.
-func (j *job) view() JobView {
+// view snapshots the job for marshalling; node is the serving node's
+// name (Options.NodeName). Caller holds the server lock.
+func (j *job) view(node string) JobView {
 	v := JobView{
 		ID:        j.id,
 		State:     j.state,
@@ -160,6 +165,7 @@ func (j *job) view() JobView {
 		Attempts:  j.attempts,
 		Recovered: j.recovered,
 		Progress:  j.prog.snapshot(time.Now()),
+		Node:      node,
 	}
 	for _, it := range j.items {
 		if it.Done {

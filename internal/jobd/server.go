@@ -84,6 +84,17 @@ type Options struct {
 	RetryBaseDelay time.Duration
 	// RetryMaxDelay caps the backoff. Defaults to 15s.
 	RetryMaxDelay time.Duration
+
+	// NodeName labels this server's jobs (JobView.Node) in a cluster so
+	// gateway clients and tests can see where routing placed a job.
+	// Empty (the standalone default) omits the field.
+	NodeName string
+
+	// CacheGet, when set, mounts GET /v1/cache/{key} serving raw result
+	// payloads to cluster peers. Wire it to simcache's GetLocal — never
+	// Get — so one node's miss can't recurse through another's
+	// read-through. ok=false answers 404.
+	CacheGet func(key string) (payload []byte, ok bool)
 }
 
 // Errors surfaced by Submit, mapped to HTTP statuses by the handler.
@@ -193,6 +204,18 @@ func NewServer(opts Options) (*Server, error) {
 	return s, nil
 }
 
+// jobID renders a job's wire ID. A named node (Options.NodeName, set
+// on cluster backends) prefixes its name so IDs are unique across the
+// cluster — the gateway's routing table is keyed by job ID, and two
+// nodes both minting "j000001" would silently cross their routes.
+// Recovered jobs keep the IDs their journal recorded.
+func (s *Server) jobID(seq uint64) string {
+	if s.opts.NodeName != "" {
+		return fmt.Sprintf("%s-j%06d", s.opts.NodeName, seq)
+	}
+	return fmt.Sprintf("j%06d", seq)
+}
+
 // recoverJobs re-enqueues the journal's non-terminal jobs before the
 // worker pool starts, preserving their IDs, priorities and admission
 // order, so work accepted before a crash is work the restarted daemon
@@ -297,7 +320,7 @@ func (s *Server) submit(req SubmitRequest, reqID string) (JobView, error) {
 	}
 	s.nextSeq++
 	j := &job{
-		id:       fmt.Sprintf("j%06d", s.nextSeq),
+		id:       s.jobID(s.nextSeq),
 		priority: req.Priority,
 		timeout:  timeout,
 		seq:      s.nextSeq,
@@ -329,7 +352,7 @@ func (s *Server) submit(req SubmitRequest, reqID string) (JobView, error) {
 	s.log.Info("job accepted", "request_id", reqID, "job_id", j.id,
 		"items", len(specs), "priority", j.priority, "timeout", timeout.String())
 	s.cond.Signal()
-	return j.view(), nil
+	return j.view(s.opts.NodeName), nil
 }
 
 // Job returns a snapshot of one job.
@@ -340,7 +363,7 @@ func (s *Server) Job(id string) (JobView, bool) {
 	if !ok {
 		return JobView{}, false
 	}
-	return j.view(), true
+	return j.view(s.opts.NodeName), true
 }
 
 // Jobs returns snapshots of every job in admission order.
@@ -349,7 +372,7 @@ func (s *Server) Jobs() []JobView {
 	defer s.mu.Unlock()
 	out := make([]JobView, 0, len(s.order))
 	for _, id := range s.order {
-		out = append(out, s.jobs[id].view())
+		out = append(out, s.jobs[id].view(s.opts.NodeName))
 	}
 	return out
 }
@@ -785,6 +808,7 @@ func (r *statusRecorder) Flush() {
 //	GET  /v1/jobs/{id}/events server-sent event stream
 //	GET  /healthz             "ok" (200) or "draining" (503)
 //	GET  /metrics             Prometheus text exposition
+//	GET  /v1/cache/{key}      raw cached payload for peers (Options.CacheGet only)
 //	GET  /debug/pprof/...     net/http/pprof (Options.Pprof only)
 //
 // Every response carries an X-Request-Id header; the same ID labels
@@ -797,6 +821,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.CacheGet != nil {
+		mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	}
 	if s.opts.Pprof {
 		// No method in the patterns: pprof handlers accept GET and POST.
 		mux.HandleFunc("/debug/pprof/", netpprof.Index)
@@ -812,9 +839,16 @@ func (s *Server) Handler() http.Handler {
 // and status code, and logs it. The route label is the mux pattern
 // ("GET /v1/jobs/{id}"), never the raw path, so label cardinality
 // stays bounded.
+//
+// A well-formed inbound X-Request-Id is adopted instead of minted so
+// one ID threads a request across hops (client → gateway → backend);
+// anything malformed, oversized, or absent gets a fresh local ID.
 func (s *Server) withTelemetry(mux *http.ServeMux) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		reqID := fmt.Sprintf("r%06d", s.nextReqID.Add(1))
+		reqID := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if reqID == "" {
+			reqID = fmt.Sprintf("r%06d", s.nextReqID.Add(1))
+		}
 		w.Header().Set("X-Request-Id", reqID)
 		_, route := mux.Handler(r)
 		if route == "" {
@@ -832,6 +866,42 @@ func (s *Server) withTelemetry(mux *http.ServeMux) http.Handler {
 			"path", r.URL.Path, "code", code,
 			"duration_ms", float64(time.Since(start).Microseconds())/1000)
 	})
+}
+
+// sanitizeRequestID validates an externally supplied request ID:
+// non-empty, at most 64 bytes, limited to [A-Za-z0-9._-]. Anything
+// else returns "" and the server mints its own — the inbound header is
+// a log-correlation convenience, never a trusted value.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// handleCacheGet serves one raw result payload to a cluster peer
+// (mounted only when Options.CacheGet is set). The payload is the
+// cached JSON exactly as stored, so the fetching node's digest-checked
+// Put re-verifies it end to end.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	b, ok := s.opts.CacheGet(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such cache entry")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	_, _ = w.Write(b)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -32,6 +32,22 @@ type Stats struct {
 	// Corrupt counts entries dropped because their payload failed the
 	// integrity check (a miss is also recorded).
 	Corrupt uint64
+	// PeerHits counts local misses answered by the configured Peer (the
+	// local Miss is still recorded: a peer hit is a local miss that was
+	// cheap). The adopted payload is also a Put.
+	PeerHits uint64
+}
+
+// Peer answers cache misses from somewhere else — in a gpuwalkd
+// cluster, the node that owns the key on the consistent-hash ring.
+// Fetch returns ok=false for any reason the payload is unavailable
+// (miss, unreachable, this process owns the key); the cache then
+// reports an ordinary miss and the caller pays for the computation.
+// Implementations must not call back into Get on the same cache, or a
+// miss could recurse; cluster.Peering guarantees this by serving its
+// remote end from GetLocal.
+type Peer interface {
+	Fetch(key string) ([]byte, bool)
 }
 
 // Cache is a persistent content-addressed result store rooted at one
@@ -49,6 +65,7 @@ type Cache struct {
 	size    int64  // total payload bytes
 	dirty   bool   // index has in-memory changes not yet persisted
 	stats   Stats
+	peer    Peer
 }
 
 // entry is one index record.
@@ -193,10 +210,55 @@ func (c *Cache) flushIndexLocked() error {
 	return err
 }
 
+// SetPeer installs (or, with nil, removes) a read-through peer
+// consulted on local misses. Call before the cache starts serving;
+// swapping peers mid-flight is not synchronized with in-progress Gets.
+func (c *Cache) SetPeer(p Peer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peer = p
+}
+
 // Get returns the payload stored under key. ok is false on a miss; a
 // payload whose digest no longer matches the index is dropped and
-// reported as a miss, never returned.
+// reported as a miss, never returned. With a Peer configured, a local
+// miss read-throughs the peer — outside the cache lock, so a slow
+// network fetch never blocks concurrent local hits — and an adopted
+// payload is stored locally (a Put) so the next Get hits without a
+// network hop.
 func (c *Cache) Get(key string) (payload []byte, ok bool, err error) {
+	b, ok, err := c.GetLocal(key)
+	if ok || err != nil {
+		return b, ok, err
+	}
+	c.mu.Lock()
+	peer := c.peer
+	c.mu.Unlock()
+	if peer == nil {
+		return nil, false, nil
+	}
+	pb, ok := peer.Fetch(key)
+	if !ok {
+		return nil, false, nil
+	}
+	if err := c.Put(key, pb); err != nil {
+		// The payload is good even if persisting it failed; serve it and
+		// let the next miss retry the store.
+		c.mu.Lock()
+		c.stats.PeerHits++
+		c.mu.Unlock()
+		return pb, true, nil
+	}
+	c.mu.Lock()
+	c.stats.PeerHits++
+	c.mu.Unlock()
+	return pb, true, nil
+}
+
+// GetLocal is Get without the peer read-through: it consults only this
+// process's store. The cluster cache-serving endpoint uses it so a
+// peer fetch can never recurse into another peer fetch.
+func (c *Cache) GetLocal(key string) (payload []byte, ok bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, found := c.entries[key]

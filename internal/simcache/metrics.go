@@ -27,6 +27,9 @@ func (c *Cache) RegisterMetrics(fs *obs.FamilySet, prefix string) {
 	fs.CounterFunc(prefix+"_corrupt_total",
 		"Entries dropped for failing the payload integrity check.",
 		func() float64 { return float64(c.Stats().Corrupt) })
+	fs.CounterFunc(prefix+"_peer_hits_total",
+		"Local misses answered by the cluster peer read-through.",
+		func() float64 { return float64(c.Stats().PeerHits) })
 	fs.GaugeFunc(prefix+"_entries",
 		"Results currently stored.",
 		func() float64 { return float64(c.Len()) })
