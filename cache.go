@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"gpuwalk/internal/obs"
 	"gpuwalk/internal/simcache"
 )
 
@@ -36,36 +37,70 @@ func OpenResultCache(dir string, maxBytes int64) (*ResultCache, error) {
 // result before returning. Configs that cannot be hashed (custom
 // schedulers) bypass the cache and always simulate, as does a nil
 // cache, so callers can make persistence an option without branching.
+//
+// When ctx carries a request-trace span (obs.ContextWithSpanRef — the
+// job server threads one per work item), the lookup, simulation, and
+// store are each recorded as child spans (cache.lookup, sim.run,
+// cache.put), and a run with a Config.Obs.Tracer attached stamps the
+// trace ID into the sim trace's metadata so the two timelines
+// cross-reference. Without a span in ctx all of this is skipped at the
+// cost of one pointer check.
 func RunCached(ctx context.Context, c *ResultCache, cfg Config) (res Result, hit bool, err error) {
+	ref := obs.SpanRefFrom(ctx)
+	if ref.Valid() && cfg.Obs.Tracer != nil {
+		cfg.Obs.Tracer.SetMeta("trace_id", ref.Buf.Trace().String())
+	}
+	runTraced := func() (Result, error) {
+		simSpan := ref.Start("sim.run")
+		r, err := RunContext(ctx, cfg)
+		if err != nil {
+			simSpan.End(obs.Str("error", "run failed"))
+		} else {
+			simSpan.End()
+		}
+		return r, err
+	}
 	if c == nil {
-		res, err = RunContext(ctx, cfg)
+		res, err = runTraced()
 		return res, false, err
 	}
 	key, err := ConfigHash(cfg)
 	if err == ErrUncacheable {
-		res, err = RunContext(ctx, cfg)
+		res, err = runTraced()
 		return res, false, err
 	}
 	if err != nil {
 		return Result{}, false, err
 	}
-	ok, err := c.GetJSON(key, &res)
+	lookupSpan := ref.Start("cache.lookup")
+	ok, err := c.GetJSONContext(ctx, key, &res)
+	lookupSpan.End(obs.U64("hit", b2uCache(ok)))
 	if err != nil {
 		return Result{}, false, err
 	}
 	if ok {
 		return res, true, nil
 	}
-	res, err = RunContext(ctx, cfg)
+	res, err = runTraced()
 	if err != nil {
 		return Result{}, false, err
 	}
-	if _, err := c.PutJSON(key, res); err != nil {
+	putSpan := ref.Start("cache.put")
+	_, perr := c.PutJSON(key, res)
+	putSpan.End()
+	if perr != nil {
 		// The simulation succeeded; a failing cache write is still an
 		// error (the store is misconfigured or the disk is full) but the
 		// result is returned alongside it so callers can choose to
 		// proceed uncached.
-		return res, false, fmt.Errorf("gpuwalk: caching result: %w", err)
+		return res, false, fmt.Errorf("gpuwalk: caching result: %w", perr)
 	}
 	return res, false, nil
+}
+
+func b2uCache(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }

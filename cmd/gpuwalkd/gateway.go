@@ -32,6 +32,7 @@ type gatewayConfig struct {
 	drainWait  time.Duration
 	logFormat  string
 	logLevel   string
+	traceSpans int
 }
 
 // runGateway is gateway mode's main loop: membership + gateway +
@@ -61,6 +62,7 @@ func runGateway(cfg gatewayConfig, stdout, stderr io.Writer) int {
 		Membership: member,
 		KeyFunc:    specKey,
 		Logger:     logger,
+		SpanLimit:  cfg.traceSpans,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "gpuwalkd: %v\n", err)

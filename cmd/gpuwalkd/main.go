@@ -85,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nodeName     = fs.String("node", "", "node name label on jobs and metrics (default: host:port of -self)")
 		vnodes       = fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the consistent-hash ring")
 		probeEvery   = fs.Duration("probe-interval", 2*time.Second, "cluster health-probe cadence")
+		traceSpans   = fs.Int("trace-spans", 0, "max recorded spans per request trace (0 = default 256, negative disables tracing)")
 		printVersion = fs.Bool("version", false, "print the simulator model version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -103,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			drainWait:  *drainWait,
 			logFormat:  *logFormat,
 			logLevel:   *logLevel,
+			traceSpans: *traceSpans,
 		}, stdout, stderr)
 	}
 	if *workers <= 0 {
@@ -184,6 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		RetryBaseDelay:   *retryBase,
 		RetryMaxDelay:    *retryCap,
 		NodeName:         nodeLabel,
+		SpanLimit:        *traceSpans,
 	}
 	if peering != nil {
 		// Peers are served from the local store only (GetLocal): a miss

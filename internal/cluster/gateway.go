@@ -48,6 +48,10 @@ type GatewayOptions struct {
 	MaxRoutes int
 	// Logger receives routing and proxy-failure logs. Nil discards.
 	Logger *slog.Logger
+	// SpanLimit bounds each trace's gateway span buffer. Zero uses
+	// obs.DefaultSpanLimit; negative disables gateway tracing (the
+	// traceparent header still propagates to backends untouched).
+	SpanLimit int
 }
 
 // Gateway fronts a gpuwalkd cluster: POST /v1/jobs routes to the node
@@ -68,6 +72,10 @@ type Gateway struct {
 	mu         sync.Mutex
 	routes     map[string]string // job ID -> node URL
 	routeOrder []string          // FIFO for eviction
+
+	// traces holds the gateway's routing spans per trace ID, nil when
+	// GatewayOptions.SpanLimit < 0. See tracestore.go.
+	traces *traceStore
 
 	metrics *gatewayMetrics
 	reqSeq  atomic.Uint64
@@ -101,6 +109,9 @@ func NewGateway(opts GatewayOptions) (*Gateway, error) {
 		routes: make(map[string]string),
 	}
 	g.metrics = newGatewayMetrics(g, time.Now())
+	if opts.SpanLimit >= 0 {
+		g.traces = newTraceStore("gateway", opts.SpanLimit, 0, g.metrics.observeStage)
+	}
 	return g, nil
 }
 
@@ -179,6 +190,7 @@ func (g *Gateway) routeCount() int {
 //	POST /v1/jobs              route to the key's owner
 //	GET  /v1/jobs              merged list across healthy nodes
 //	GET  /v1/jobs/{id}         proxy to the accepting node
+//	GET  /v1/jobs/{id}/trace   merged gateway + backend span timeline
 //	GET  /v1/jobs/{id}/events  streamed SSE proxy (Last-Event-ID passes through)
 //	GET  /v1/cluster           ring layout, per-node health, ownership
 //	GET  /healthz              ok while >= 1 node is healthy
@@ -188,6 +200,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", g.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", g.handleJobTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleEvents)
 	mux.HandleFunc("GET /v1/cluster", g.handleCluster)
 	mux.HandleFunc("GET /healthz", g.handleHealth)
@@ -198,12 +211,20 @@ func (g *Gateway) Handler() http.Handler {
 // withTelemetry assigns (or adopts) the request ID and counts requests
 // by route pattern and status. An inbound X-Request-Id is honored so
 // one ID threads client → gateway → backend logs; the backend echoes
-// it for the same reason.
+// it for the same reason. When the request carries a traceparent but
+// no request ID, the ID derives from the trace ID — the same
+// derivation the backend uses, so every hop of a traced request logs
+// under one request ID with zero coordination.
 func (g *Gateway) withTelemetry(mux *http.ServeMux) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		remote, tpErr := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
 		reqID := SanitizeRequestID(r.Header.Get("X-Request-Id"))
 		if reqID == "" {
-			reqID = fmt.Sprintf("g%06d", g.reqSeq.Add(1))
+			if tpErr == nil {
+				reqID = obs.RequestIDFromTrace(remote.Trace)
+			} else {
+				reqID = fmt.Sprintf("g%06d", g.reqSeq.Add(1))
+			}
 		}
 		w.Header().Set("X-Request-Id", reqID)
 		r.Header.Set("X-Request-Id", reqID)
@@ -219,9 +240,13 @@ func (g *Gateway) withTelemetry(mux *http.ServeMux) http.Handler {
 			code = http.StatusOK
 		}
 		g.metrics.httpReqs.With(route, strconv.Itoa(code)).Inc()
-		g.log.Debug("gateway request", "request_id", reqID, "route", route,
+		logArgs := []any{"request_id", reqID, "route", route,
 			"path", r.URL.Path, "code", code,
-			"duration_ms", float64(time.Since(start).Microseconds())/1000)
+			"duration_ms", float64(time.Since(start).Microseconds()) / 1000}
+		if tpErr == nil {
+			logArgs = append(logArgs, "trace_id", remote.Trace.String(), "span_id", remote.Span.String())
+		}
+		g.log.Debug("gateway request", logArgs...)
 	})
 }
 
@@ -251,30 +276,80 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		gwError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
 		return
 	}
+
+	// Record the gateway's half of the trace. The inbound traceparent
+	// (if any) is continued; otherwise the gateway starts the trace so
+	// the backend's spans still join up with the routing spans here.
+	var (
+		buf        *obs.SpanBuf
+		gwSpan     *obs.ActiveSpan
+		routeSpan  *obs.ActiveSpan
+		parentSpan obs.SpanID
+	)
+	if g.traces != nil {
+		remote, tpErr := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		trace := remote.Trace
+		if tpErr != nil {
+			trace = obs.NewTraceID()
+		} else {
+			parentSpan = remote.Span
+		}
+		buf = g.traces.buf(trace)
+		gwSpan = buf.StartSpan("gateway.submit", parentSpan,
+			obs.Str("request_id", r.Header.Get("X-Request-Id")))
+		routeSpan = buf.StartSpan("gateway.route", gwSpan.ID())
+	}
+
 	key := g.routeKey(body)
 	owner := g.m.Owner(key)
+	routeSpan.End(obs.Str("key", shortKey(key)), obs.Str("node", NodeName(owner)))
 	if owner == "" {
 		g.metrics.noOwner.Inc()
+		gwSpan.End(obs.Str("error", "no healthy nodes"))
 		w.Header().Set("Retry-After", "1")
 		gwError(w, http.StatusServiceUnavailable, "cluster: no healthy nodes to own this job")
 		return
 	}
+
+	// Continue the trace across the proxy hop: the backend's submit
+	// span parents to the gateway's proxy span, not to whatever the
+	// client sent, so the merged timeline nests client → gateway →
+	// backend.
+	var proxySpan *obs.ActiveSpan
+	if buf != nil {
+		proxySpan = buf.StartSpan("gateway.proxy", gwSpan.ID(), obs.Str("node", NodeName(owner)))
+		r.Header.Set(obs.TraceparentHeader,
+			obs.SpanContext{Trace: buf.Trace(), Span: proxySpan.ID()}.Traceparent())
+	}
 	resp, rbody, err := g.exchange(r, owner, http.MethodPost, "/v1/jobs", body)
 	if err != nil {
+		proxySpan.End(obs.Str("error", err.Error()))
+		gwSpan.End(obs.Str("error", "backend unreachable"))
 		g.proxyFailure(w, owner, err)
 		return
 	}
+	proxySpan.End(obs.U64("code", uint64(resp.StatusCode)))
+	var jobID string
 	if resp.StatusCode == http.StatusAccepted {
 		var v struct {
 			ID string `json:"id"`
 		}
 		if json.Unmarshal(rbody, &v) == nil {
+			jobID = v.ID
 			g.recordRoute(v.ID, owner)
+			if buf != nil {
+				g.traces.bindJob(v.ID, buf.Trace())
+			}
 		}
 		g.metrics.routedJobs.With(NodeName(owner)).Inc()
-		g.log.Info("job routed", "request_id", r.Header.Get("X-Request-Id"),
-			"node", NodeName(owner), "job_id", v.ID, "key", shortKey(key))
+		logArgs := []any{"request_id", r.Header.Get("X-Request-Id"),
+			"node", NodeName(owner), "job_id", v.ID, "key", shortKey(key)}
+		if buf != nil {
+			logArgs = append(logArgs, "trace_id", buf.Trace().String())
+		}
+		g.log.Info("job routed", logArgs...)
 	}
+	gwSpan.End(obs.Str("job_id", jobID), obs.U64("code", uint64(resp.StatusCode)))
 	g.relay(w, owner, resp, rbody)
 }
 
@@ -286,6 +361,57 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // the healthy members.
 func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
 	g.proxyJobRead(w, r, "/v1/jobs/"+r.PathValue("id"), r.PathValue("id"))
+}
+
+// handleJobTrace serves GET /v1/jobs/{id}/trace: the merged span
+// timeline of a routed job. The gateway fetches the owning backend's
+// raw spans (?format=spans), merges them with its own gateway.submit /
+// gateway.route / gateway.proxy spans, and renders one Chrome trace —
+// the client sees the full client→gateway→backend timeline from a
+// single endpoint. When the gateway has no spans for the job (restart,
+// eviction, tracing disabled) the backend's rendered trace proxies
+// through unchanged.
+func (g *Gateway) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	jobID := r.PathValue("id")
+	local := g.traces.spansForJob(jobID)
+	if local == nil {
+		g.proxyJobRead(w, r, "/v1/jobs/"+jobID+"/trace", jobID)
+		return
+	}
+
+	path := "/v1/jobs/" + jobID + "/trace?format=spans"
+	node := g.route(jobID)
+	var (
+		resp *http.Response
+		body []byte
+		err  error
+	)
+	if node != "" {
+		resp, body, err = g.exchange(r, node, http.MethodGet, path, nil)
+	} else {
+		node, resp, body, err = g.scatterFind(r, jobID, path)
+	}
+
+	spans := local
+	switch {
+	case err != nil:
+		g.proxyFailure(w, node, err)
+		return
+	case resp == nil || resp.StatusCode != http.StatusOK:
+		// The backend has no trace (restarted node, span buffer
+		// disabled): the gateway's own spans are still a valid — if
+		// thin — timeline.
+	default:
+		var doc obs.SpanDoc
+		if jerr := json.Unmarshal(body, &doc); jerr == nil {
+			spans = append(append([]obs.Span{}, local...), doc.Spans...)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if node != "" {
+		w.Header().Set("X-Gpuwalkd-Node", NodeName(node))
+	}
+	_ = obs.WriteChromeSpans(w, spans)
 }
 
 func (g *Gateway) proxyJobRead(w http.ResponseWriter, r *http.Request, path, jobID string) {
@@ -339,8 +465,8 @@ func (g *Gateway) scatterFind(r *http.Request, jobID, path string) (string, *htt
 
 // exchange performs one proxied request/response with the whole body
 // buffered (jobs API payloads are small; SSE uses streamProxy). The
-// inbound request's X-Request-Id travels to the backend so one ID
-// labels the request on both hops.
+// inbound request's X-Request-Id and Traceparent travel to the backend
+// so one ID and one trace label the request on both hops.
 func (g *Gateway) exchange(r *http.Request, node, method, path string, body []byte) (*http.Response, []byte, error) {
 	var rd io.Reader
 	if body != nil {
@@ -354,6 +480,9 @@ func (g *Gateway) exchange(r *http.Request, node, method, path string, body []by
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set("X-Request-Id", r.Header.Get("X-Request-Id"))
+	if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
 	resp, err := g.hc.Do(req)
 	if err != nil {
 		g.metrics.proxyErrors.With(NodeName(node)).Inc()
@@ -473,7 +602,7 @@ func (g *Gateway) streamProxy(w http.ResponseWriter, r *http.Request, node, path
 		g.proxyFailure(w, node, err)
 		return
 	}
-	for _, h := range []string{"Last-Event-ID", "Accept", "X-Request-Id"} {
+	for _, h := range []string{"Last-Event-ID", "Accept", "X-Request-Id", obs.TraceparentHeader} {
 		if v := r.Header.Get(h); v != "" {
 			req.Header.Set(h, v)
 		}
@@ -660,6 +789,29 @@ type gatewayMetrics struct {
 	rollupErrors *obs.Family // gateway_rollup_errors_total{node}
 	noOwner      *obs.Metric // gateway_no_owner_total
 	sseDrops     *obs.Metric // gateway_sse_upstream_drops_total
+	stageSeconds *obs.Family // gateway_stage_seconds{stage}
+}
+
+// gatewayStageForSpan maps a gateway span name to its
+// gateway_stage_seconds label; "" means the span is not a stage.
+func gatewayStageForSpan(name string) string {
+	switch name {
+	case "gateway.submit":
+		return "submit"
+	case "gateway.route":
+		return "route"
+	case "gateway.proxy":
+		return "proxy"
+	}
+	return ""
+}
+
+// observeStage feeds ended gateway spans into the stage histogram; it
+// is the traceStore's OnEnd hook.
+func (m *gatewayMetrics) observeStage(name string, d time.Duration) {
+	if stage := gatewayStageForSpan(name); stage != "" {
+		m.stageSeconds.With(stage).Observe(d.Seconds())
+	}
 }
 
 func newGatewayMetrics(g *Gateway, start time.Time) *gatewayMetrics {
@@ -678,6 +830,11 @@ func newGatewayMetrics(g *Gateway, start time.Time) *gatewayMetrics {
 			"Submissions rejected because no healthy node could own the key.").With(),
 		sseDrops: fs.NewCounter("gateway_sse_upstream_drops_total",
 			"SSE streams ended by a synthetic error event after the backend connection dropped.").With(),
+		stageSeconds: fs.NewHistogram("gateway_stage_seconds",
+			"Gateway request-stage latency by stage (route, proxy, submit).", obs.DefBuckets, "stage"),
+	}
+	for _, stage := range []string{"route", "proxy", "submit"} {
+		m.stageSeconds.With(stage)
 	}
 	fs.GaugeFunc("gateway_nodes", "Configured cluster members.",
 		func() float64 { return float64(len(g.m.Peers())) })
@@ -689,6 +846,14 @@ func newGatewayMetrics(g *Gateway, start time.Time) *gatewayMetrics {
 		func() float64 { return float64(g.routeCount()) })
 	fs.GaugeFunc("gateway_uptime_seconds", "Seconds since the gateway started.",
 		func() float64 { return time.Since(start).Seconds() })
+	fs.GaugeFunc("gateway_traces", "Retained request-trace span buffers.",
+		func() float64 {
+			if g.traces == nil {
+				return 0
+			}
+			return float64(g.traces.traces())
+		})
+	obs.RegisterRuntimeMetrics(fs)
 	return m
 }
 

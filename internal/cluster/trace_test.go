@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpuwalk/internal/jobd"
+	"gpuwalk/internal/obs"
+)
+
+// newTracedBackend runs a real jobd server (echo runner) named name.
+func newTracedBackend(t *testing.T, name string) (*jobd.Server, *httptest.Server) {
+	t.Helper()
+	s, err := jobd.NewServer(jobd.Options{
+		Runner: func(ctx context.Context, spec json.RawMessage) (json.RawMessage, bool, error) {
+			return spec, false, nil
+		},
+		Workers:  1,
+		NodeName: name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// chromeSpan is the slice of a trace event this test cares about.
+type chromeSpan struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	PID  int    `json:"pid"`
+	Args struct {
+		Name     string `json:"name"` // metadata events
+		TraceID  string `json:"trace_id"`
+		SpanID   string `json:"span_id"`
+		ParentID string `json:"parent_id"`
+	} `json:"args"`
+}
+
+func decodeChromeSpans(t *testing.T, raw []byte) (spans map[string]chromeSpan, services map[string]int) {
+	t.Helper()
+	var doc struct {
+		Events []chromeSpan `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("decoding trace: %v\n%s", err, raw)
+	}
+	spans = map[string]chromeSpan{}
+	services = map[string]int{}
+	for _, e := range doc.Events {
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" {
+				services[e.Args.Name] = e.PID
+			}
+		case "X":
+			spans[e.Name] = e
+		}
+	}
+	return spans, services
+}
+
+// TestGatewayTracePropagation drives one traced submission through a
+// real gateway into a real jobd backend and asserts the merged trace:
+// one trace ID end to end, the backend's submit span parented to the
+// gateway's proxy span, and both services present in the rendered
+// Chrome JSON served by the gateway.
+func TestGatewayTracePropagation(t *testing.T) {
+	_, ts1 := newTracedBackend(t, "n1")
+	_, ts2 := newTracedBackend(t, "n2")
+	m, err := NewMembership(MemberOptions{
+		Peers:         []string{ts1.URL, ts2.URL},
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	gw, err := NewGateway(GatewayOptions{Membership: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gws := httptest.NewServer(gw.Handler())
+	t.Cleanup(gws.Close)
+
+	client := obs.SpanContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}
+	req, _ := http.NewRequest(http.MethodPost, gws.URL+"/v1/jobs",
+		bytes.NewReader([]byte(`{"spec":{"x":1}}`)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, client.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit via gateway returned %d: %s", resp.StatusCode, body)
+	}
+	// No X-Request-Id was sent: the gateway derives one from the trace,
+	// and the backend derives the identical one.
+	if got, want := resp.Header.Get("X-Request-Id"), obs.RequestIDFromTrace(client.Trace); got != want {
+		t.Fatalf("X-Request-Id = %q, want derived %q", got, want)
+	}
+	var v struct {
+		ID      string `json:"id"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.TraceID != client.Trace.String() {
+		t.Fatalf("backend adopted trace %q, want client trace %s", v.TraceID, client.Trace)
+	}
+
+	waitDoneViaGateway(t, gws.URL, v.ID)
+
+	tr, err := http.Get(gws.URL + "/v1/jobs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("gateway trace endpoint returned %d: %s", tr.StatusCode, raw)
+	}
+	if err := obs.CheckChrome(raw); err != nil {
+		t.Fatalf("merged trace is not valid Chrome JSON: %v", err)
+	}
+	spans, services := decodeChromeSpans(t, raw)
+
+	if _, ok := services["gateway"]; !ok {
+		t.Fatalf("gateway service missing from merged trace: %v", services)
+	}
+	if _, n1 := services["n1"]; !n1 {
+		if _, n2 := services["n2"]; !n2 {
+			t.Fatalf("no backend service in merged trace: %v", services)
+		}
+	}
+	for _, want := range []string{"gateway.submit", "gateway.route", "gateway.proxy",
+		"submit", "queue.wait", "job.run", "item"} {
+		if _, ok := spans[want]; !ok {
+			t.Fatalf("span %q missing from merged trace", want)
+		}
+	}
+	for name, sp := range spans {
+		if sp.Args.TraceID != client.Trace.String() {
+			t.Fatalf("span %s carries trace %s, want %s", name, sp.Args.TraceID, client.Trace)
+		}
+	}
+	// The crux: the hop is stitched — the backend's submit span is a
+	// child of the gateway's proxy span, which descends from the
+	// client's span.
+	if got := spans["submit"].Args.ParentID; got != spans["gateway.proxy"].Args.SpanID {
+		t.Fatalf("backend submit parent = %s, want gateway.proxy span %s",
+			got, spans["gateway.proxy"].Args.SpanID)
+	}
+	if got := spans["gateway.submit"].Args.ParentID; got != client.Span.String() {
+		t.Fatalf("gateway.submit parent = %s, want client span %s", got, client.Span)
+	}
+	if spans["gateway.proxy"].Args.ParentID != spans["gateway.submit"].Args.SpanID {
+		t.Fatal("gateway.proxy is not a child of gateway.submit")
+	}
+
+	// The gateway's own stage histogram recorded the stages.
+	mr, err := http.Get(gws.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, want := range []string{
+		`gateway_stage_seconds_count{stage="route"}`,
+		`gateway_stage_seconds_count{stage="proxy"}`,
+		`gateway_stage_seconds_count{stage="submit"}`,
+		"gateway_traces 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("gateway /metrics missing %q", want)
+		}
+	}
+}
+
+// TestGatewayTraceDisabledProxies: a gateway with tracing disabled
+// still serves /trace by proxying the backend's rendering unchanged.
+func TestGatewayTraceDisabledProxies(t *testing.T) {
+	_, ts1 := newTracedBackend(t, "n1")
+	m, err := NewMembership(MemberOptions{
+		Peers:         []string{ts1.URL},
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	gw, err := NewGateway(GatewayOptions{Membership: m, SpanLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gws := httptest.NewServer(gw.Handler())
+	t.Cleanup(gws.Close)
+
+	resp, err := http.Post(gws.URL+"/v1/jobs", "application/json",
+		bytes.NewReader([]byte(`{"spec":{"x":1}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil || v.ID == "" {
+		t.Fatalf("submit failed: %d %s", resp.StatusCode, body)
+	}
+	waitDoneViaGateway(t, gws.URL, v.ID)
+
+	tr, err := http.Get(gws.URL + "/v1/jobs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("proxied trace returned %d: %s", tr.StatusCode, raw)
+	}
+	if err := obs.CheckChrome(raw); err != nil {
+		t.Fatalf("proxied trace invalid: %v", err)
+	}
+	spans, _ := decodeChromeSpans(t, raw)
+	if _, ok := spans["submit"]; !ok {
+		t.Fatal("backend submit span missing from proxied trace")
+	}
+	if _, ok := spans["gateway.submit"]; ok {
+		t.Fatal("disabled gateway recorded a span")
+	}
+}
+
+// waitDoneViaGateway polls a job through the gateway to a terminal
+// state.
+func waitDoneViaGateway(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var v struct {
+			State string `json:"state"`
+		}
+		_ = json.Unmarshal(body, &v)
+		switch v.State {
+		case "done":
+			return
+		case "failed", "cancelled":
+			t.Fatalf("job %s ended %s: %s", id, v.State, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck: %s", id, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,117 @@
+package cluster
+
+// traceStore holds the gateway's half of request traces: the
+// gateway.submit / gateway.route / gateway.proxy spans recorded while
+// routing a submission, keyed by trace ID, plus the job-ID binding
+// that lets GET /v1/jobs/{id}/trace merge them with the owning
+// backend's spans. The store is bounded FIFO on both axes — the
+// gateway holds no durable job state, and traces are no exception.
+
+import (
+	"sync"
+	"time"
+
+	"gpuwalk/internal/obs"
+)
+
+// defaultMaxTraces bounds the retained trace buffers (and job
+// bindings). At 256 spans worst case each this is a few MB ceiling;
+// in practice a gateway records 3 spans per submission.
+const defaultMaxTraces = 4096
+
+type traceStore struct {
+	service   string
+	spanLimit int
+	maxTraces int
+	onEnd     func(name string, d time.Duration)
+
+	mu       sync.Mutex
+	bufs     map[obs.TraceID]*obs.SpanBuf
+	bufOrder []obs.TraceID
+	byJob    map[string]obs.TraceID
+	jobOrder []string
+}
+
+func newTraceStore(service string, spanLimit, maxTraces int, onEnd func(string, time.Duration)) *traceStore {
+	if maxTraces <= 0 {
+		maxTraces = defaultMaxTraces
+	}
+	return &traceStore{
+		service:   service,
+		spanLimit: spanLimit,
+		maxTraces: maxTraces,
+		onEnd:     onEnd,
+		bufs:      make(map[obs.TraceID]*obs.SpanBuf),
+		byJob:     make(map[string]obs.TraceID),
+	}
+}
+
+// buf returns the span buffer for a trace, creating (and FIFO-evicting
+// past the bound) as needed.
+func (ts *traceStore) buf(trace obs.TraceID) *obs.SpanBuf {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if b, ok := ts.bufs[trace]; ok {
+		return b
+	}
+	b := obs.NewSpanBuf(ts.service, trace, ts.spanLimit)
+	if ts.onEnd != nil {
+		b.OnEnd(ts.onEnd)
+	}
+	ts.bufs[trace] = b
+	ts.bufOrder = append(ts.bufOrder, trace)
+	for len(ts.bufOrder) > ts.maxTraces {
+		evict := ts.bufOrder[0]
+		ts.bufOrder = ts.bufOrder[1:]
+		delete(ts.bufs, evict)
+	}
+	return b
+}
+
+// bindJob remembers which trace a routed job belongs to.
+func (ts *traceStore) bindJob(jobID string, trace obs.TraceID) {
+	if ts == nil || jobID == "" || trace.IsZero() {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.byJob[jobID]; !ok {
+		ts.jobOrder = append(ts.jobOrder, jobID)
+	}
+	ts.byJob[jobID] = trace
+	for len(ts.jobOrder) > ts.maxTraces {
+		evict := ts.jobOrder[0]
+		ts.jobOrder = ts.jobOrder[1:]
+		delete(ts.byJob, evict)
+	}
+}
+
+// spansForJob returns a copy of the gateway spans recorded for a job's
+// trace, or nil when the store never saw the job (restarted gateway,
+// evicted binding, tracing disabled).
+func (ts *traceStore) spansForJob(jobID string) []obs.Span {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	trace, ok := ts.byJob[jobID]
+	var b *obs.SpanBuf
+	if ok {
+		b = ts.bufs[trace]
+	}
+	ts.mu.Unlock()
+	if b == nil {
+		return nil
+	}
+	return b.Spans()
+}
+
+// traces returns the number of retained trace buffers.
+func (ts *traceStore) traces() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.bufs)
+}

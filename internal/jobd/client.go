@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"gpuwalk/internal/obs"
 )
 
 // Client is a minimal typed client for the jobd HTTP API. It exists so
@@ -34,6 +36,10 @@ type Client struct {
 	// Nil keeps the old single-try behavior — the load harness books
 	// rejections as rejections and must not mask them with retries.
 	Retry *RetryPolicy
+	// DisableTrace stops Submit from minting a traceparent header. The
+	// server then starts the trace itself (or records none, if its
+	// tracing is disabled).
+	DisableTrace bool
 }
 
 // RetryPolicy configures the client's automatic retries.
@@ -157,8 +163,9 @@ func apiError(code int, body []byte) error {
 }
 
 // roundTrip performs one HTTP exchange and reads the whole body.
-// status is 0 on transport errors.
-func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (b []byte, status int, retryAfter string, err error) {
+// status is 0 on transport errors. hdr entries (traceparent) are
+// copied onto the request.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, hdr http.Header) (b []byte, status int, retryAfter string, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -169,6 +176,11 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	}
 	if body != nil {
 		hreq.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			hreq.Header.Add(k, v)
+		}
 	}
 	resp, err := c.httpc().Do(hreq)
 	if err != nil {
@@ -188,13 +200,20 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 // expires. Without a policy it is a single try, exactly the old
 // behavior.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, wantStatus int) ([]byte, error) {
+	return c.doHeader(ctx, method, path, body, nil, wantStatus)
+}
+
+// doHeader is do with extra request headers, held constant across
+// retries — a retried submission is the same logical request, so it
+// keeps the same traceparent.
+func (c *Client) doHeader(ctx context.Context, method, path string, body []byte, hdr http.Header, wantStatus int) ([]byte, error) {
 	maxAttempts := 1
 	if c.Retry != nil && c.Retry.MaxAttempts > 1 {
 		maxAttempts = c.Retry.MaxAttempts
 	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		b, status, retryAfter, err := c.roundTrip(ctx, method, path, body)
+		b, status, retryAfter, err := c.roundTrip(ctx, method, path, body, hdr)
 		switch {
 		case err == nil && status == wantStatus:
 			return b, nil
@@ -222,12 +241,23 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, wantS
 // Submit POSTs one job. Backpressure rejections surface as errors
 // matching ErrQueueFull (HTTP 429) or ErrDraining (HTTP 503) — after
 // the Retry policy, if any, is exhausted.
+//
+// Unless DisableTrace is set, Submit mints a W3C traceparent header
+// for the request (one per logical submission, stable across retries)
+// so the server — and, through a gateway, the owning backend —
+// continues the client's trace; the assigned trace ID comes back in
+// JobView.TraceID.
 func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobView, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return JobView{}, err
 	}
-	b, err := c.do(ctx, http.MethodPost, "/v1/jobs", body, http.StatusAccepted)
+	var hdr http.Header
+	if !c.DisableTrace {
+		sc := obs.SpanContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}
+		hdr = http.Header{obs.TraceparentHeader: []string{sc.Traceparent()}}
+	}
+	b, err := c.doHeader(ctx, http.MethodPost, "/v1/jobs", body, hdr, http.StatusAccepted)
 	if err != nil {
 		return JobView{}, err
 	}

@@ -11,6 +11,8 @@ package jobd
 import (
 	"encoding/json"
 	"time"
+
+	"gpuwalk/internal/obs"
 )
 
 // State is a job's lifecycle phase.
@@ -117,6 +119,18 @@ type job struct {
 	// the runner's goroutine and read by HTTP handlers.
 	prog progressTracker
 
+	// trace is the job's span buffer, nil when tracing is disabled (or
+	// the job predates this daemon's life and was journal-recovered).
+	// The pointer is set before the job is published and never changes,
+	// so it is read without the server lock; the buffer itself is
+	// internally synchronized. The ActiveSpan handles below ARE guarded
+	// by the server lock (only lifecycle transitions touch them).
+	trace       *obs.SpanBuf
+	root        obs.SpanID      // submit span: parent of the job-level spans
+	queueSpan   *obs.ActiveSpan // open while the job waits for a worker
+	runSpan     *obs.ActiveSpan // open during the current run attempt
+	backoffSpan *obs.ActiveSpan // open while waiting out a retry backoff
+
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -146,6 +160,10 @@ type JobView struct {
 	// Empty on standalone daemons; in a cluster it tells gateway clients
 	// and tests where consistent-hash routing actually placed the job.
 	Node string `json:"node,omitempty"`
+	// TraceID is the job's W3C trace ID (continued from the submitter's
+	// traceparent header, or minted at admission). The span timeline is
+	// at GET /v1/jobs/{id}/trace. Empty when tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
 
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
@@ -166,6 +184,7 @@ func (j *job) view(node string) JobView {
 		Recovered: j.recovered,
 		Progress:  j.prog.snapshot(time.Now()),
 		Node:      node,
+		TraceID:   j.traceID(),
 	}
 	for _, it := range j.items {
 		if it.Done {
@@ -184,6 +203,14 @@ func (j *job) view(node string) JobView {
 		v.Finished = &t
 	}
 	return v
+}
+
+// traceID returns the job's trace ID as hex, "" when untraced.
+func (j *job) traceID() string {
+	if j.trace == nil {
+		return ""
+	}
+	return j.trace.Trace().String()
 }
 
 // appendEvent logs an event and wakes any blocked SSE streams.

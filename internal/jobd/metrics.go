@@ -27,6 +27,10 @@ type serverMetrics struct {
 	retries   *obs.Metric // jobd_job_retries_total
 	recovered *obs.Metric // jobd_jobs_recovered_total
 	backoff   *obs.Metric // jobd_jobs_backoff
+
+	stageSeconds *obs.Family // jobd_stage_seconds{stage}
+	queueHigh    *obs.Metric // jobd_queue_depth_highwater
+	sseClients   *obs.Metric // jobd_sse_clients
 }
 
 // newServerMetrics registers the jobd families on a fresh set. start
@@ -55,6 +59,13 @@ func newServerMetrics(start time.Time) *serverMetrics {
 			"Jobs re-enqueued from the durable journal at startup.").With(),
 		backoff: fs.NewGauge("jobd_jobs_backoff",
 			"Jobs waiting out a retry backoff before requeueing.").With(),
+		stageSeconds: fs.NewHistogram("jobd_stage_seconds",
+			"Per-stage request latency, fed by the span tracer (queue wait, execution, journal fsync, cache, sim, backoff).",
+			obs.DefBuckets, "stage"),
+		queueHigh: fs.NewGauge("jobd_queue_depth_highwater",
+			"Highest queue depth observed since the server started.").With(),
+		sseClients: fs.NewGauge("jobd_sse_clients",
+			"Currently connected SSE event-stream clients.").With(),
 	}
 	fs.GaugeFunc("jobd_uptime_seconds", "Seconds since the server started.", func() float64 {
 		return time.Since(start).Seconds()
@@ -71,6 +82,10 @@ func newServerMetrics(start time.Time) *serverMetrics {
 	m.items.With("error")
 	m.itemCache.With("hit")
 	m.itemCache.With("miss")
+	for _, stage := range []string{"submit", "queue", "exec", "journal", "cache", "sim"} {
+		m.stageSeconds.With(stage)
+	}
+	obs.RegisterRuntimeMetrics(fs)
 	return m
 }
 

@@ -95,6 +95,12 @@ type Options struct {
 	// Get — so one node's miss can't recurse through another's
 	// read-through. ok=false answers 404.
 	CacheGet func(key string) (payload []byte, ok bool)
+
+	// SpanLimit bounds each job's request-trace span buffer. Zero uses
+	// obs.DefaultSpanLimit; negative disables tracing entirely (no
+	// buffer is allocated and every span call site short-circuits on a
+	// nil check). See docs/OBSERVABILITY.md §8.
+	SpanLimit int
 }
 
 // Errors surfaced by Submit, mapped to HTTP statuses by the handler.
@@ -252,7 +258,7 @@ func (s *Server) recoverJobs() {
 	if ms := jl.MaxSeq(); ms > s.nextSeq {
 		s.nextSeq = ms
 	}
-	s.metrics.queued.Set(float64(s.queue.Len()))
+	s.metrics.noteQueueDepth(s.queue.Len())
 	s.metrics.fams.GaugeFunc("jobd_journal_live_jobs",
 		"Jobs with journal records but no terminal record yet.",
 		func() float64 { return float64(jl.Stats().Live) })
@@ -277,12 +283,14 @@ type SubmitRequest struct {
 
 // Submit validates and admits a job, returning its queued view.
 func (s *Server) Submit(req SubmitRequest) (JobView, error) {
-	return s.submit(req, "")
+	return s.submit(req, "", obs.SpanContext{})
 }
 
 // submit is Submit with the originating HTTP request ID (empty for
-// programmatic submissions) attached to the lifecycle logs.
-func (s *Server) submit(req SubmitRequest, reqID string) (JobView, error) {
+// programmatic submissions) attached to the lifecycle logs and the
+// caller's traceparent context (zero to start a fresh trace) parenting
+// the job's span timeline.
+func (s *Server) submit(req SubmitRequest, reqID string, remote obs.SpanContext) (JobView, error) {
 	var specs []json.RawMessage
 	switch {
 	case req.Spec != nil && len(req.Specs) > 0:
@@ -306,16 +314,25 @@ func (s *Server) submit(req SubmitRequest, reqID string) (JobView, error) {
 		timeout = max
 	}
 
+	// The submit span covers admission end to end — validation done,
+	// through queue-full checks and the journal fsync, to the accepted
+	// event. Its buffer becomes the job's; on rejection it is dropped.
+	buf := s.newTraceBuf(remote)
+	submitSpan := buf.StartSpan(spanSubmit, remote.Span,
+		obs.Str("request_id", reqID), obs.U64("items", uint64(len(specs))))
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.metrics.rejected.With("draining").Inc()
 		s.log.Warn("job rejected", "request_id", reqID, "reason", "draining")
+		submitSpan.End(obs.Str("error", "draining"))
 		return JobView{}, ErrDraining
 	}
 	if s.queue.Full() {
 		s.metrics.rejected.With("queue_full").Inc()
 		s.log.Warn("job rejected", "request_id", reqID, "reason", "queue_full")
+		submitSpan.End(obs.Str("error", "queue_full"))
 		return JobView{}, ErrQueueFull
 	}
 	s.nextSeq++
@@ -327,6 +344,8 @@ func (s *Server) submit(req SubmitRequest, reqID string) (JobView, error) {
 		state:    StateQueued,
 		items:    make([]Item, len(specs)),
 		created:  time.Now(),
+		trace:    buf,
+		root:     submitSpan.ID(),
 	}
 	for i, sp := range specs {
 		j.items[i].Spec = sp
@@ -336,9 +355,13 @@ func (s *Server) submit(req SubmitRequest, reqID string) (JobView, error) {
 		// is what makes the 202 a promise. If the journal cannot take
 		// it, the job is not admitted (the burned seq leaves a harmless
 		// gap in the ID space).
-		if err := jl.Accepted(j.id, j.seq, j.priority, j.timeout, specs, j.created, 0); err != nil {
+		err := journalSpan(buf, submitSpan.ID(), "accepted", func() error {
+			return jl.Accepted(j.id, j.seq, j.priority, j.timeout, specs, j.created, 0)
+		})
+		if err != nil {
 			s.metrics.rejected.With("journal").Inc()
 			s.log.Error("job rejected", "request_id", reqID, "reason", "journal", "error", err.Error())
+			submitSpan.End(obs.Str("error", "journal"))
 			return JobView{}, fmt.Errorf("%w: %v", ErrJournal, err)
 		}
 	}
@@ -346,12 +369,16 @@ func (s *Server) submit(req SubmitRequest, reqID string) (JobView, error) {
 	s.order = append(s.order, j.id)
 	s.evictLocked()
 	s.queue.push(j)
+	j.queueSpan = buf.StartSpan(spanQueueWait, j.root,
+		obs.Str("priority", strconv.Itoa(j.priority)),
+		obs.U64("queue_depth", uint64(s.queue.Len())))
 	j.appendEvent(EventQueued, map[string]any{"items": len(specs)})
 	s.metrics.submitted.Inc()
-	s.metrics.queued.Set(float64(s.queue.Len()))
-	s.log.Info("job accepted", "request_id", reqID, "job_id", j.id,
+	s.metrics.noteQueueDepth(s.queue.Len())
+	s.log.Info("job accepted", "request_id", reqID, "job_id", j.id, "trace_id", j.traceID(),
 		"items", len(specs), "priority", j.priority, "timeout", timeout.String())
 	s.cond.Signal()
+	submitSpan.End(obs.Str("job_id", j.id))
 	return j.view(s.opts.NodeName), nil
 }
 
@@ -407,18 +434,25 @@ func (s *Server) worker() {
 			ctx, cancel = context.WithCancel(s.baseCtx)
 		}
 		s.running[j.id] = cancel
+		j.queueSpan.End()
+		j.queueSpan = nil
+		j.runSpan = j.trace.StartSpan(spanJobRun, j.root, obs.U64("attempt", uint64(j.attempts)))
 		j.appendEvent(EventStarted, map[string]any{"attempt": j.attempts})
 		if jl := s.opts.Journal; jl != nil {
 			// A lost started record only costs a retry-budget reset on
 			// recovery; it never loses the job, so log and carry on.
-			if err := jl.Started(j.id, j.attempts); err != nil {
+			err := journalSpan(j.trace, j.runSpan.ID(), "started", func() error {
+				return jl.Started(j.id, j.attempts)
+			})
+			if err != nil {
 				s.log.Error("journal append failed", "job_id", j.id, "record", "started", "error", err.Error())
 			}
 		}
 		s.metrics.queued.Set(float64(s.queue.Len()))
 		s.metrics.running.Set(float64(len(s.running)))
 		s.mu.Unlock()
-		s.log.Info("job started", "job_id", j.id, "items", len(j.items), "attempt", j.attempts,
+		s.log.Info("job started", "job_id", j.id, "trace_id", j.traceID(),
+			"items", len(j.items), "attempt", j.attempts,
 			"queue_wait_ms", j.started.Sub(j.created).Milliseconds())
 
 		s.runJob(ctx, j)
@@ -465,10 +499,22 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 			continue
 		}
 		spec := j.items[i].Spec
+		runParent := j.runSpan.ID()
 		s.mu.Unlock()
 
 		j.prog.beginItem(i, time.Now())
-		result, hit, err := s.runItem(ctx, j, spec)
+		// The item span is the runner's parent: cache.lookup /
+		// cache.peer_fetch / sim.run spans hang off it through the
+		// context ref (a zero ref when tracing is off, so the wrap is
+		// the identity on ctx).
+		itemSpan := j.trace.StartSpan(spanItem, runParent, obs.U64("index", uint64(i)))
+		itemCtx := obs.ContextWithSpanRef(ctx, obs.SpanRef{Buf: j.trace, Span: itemSpan.ID()})
+		result, hit, err := s.runItem(itemCtx, j, spec)
+		itemArgs := []obs.Arg{obs.U64("cache_hit", b2u(hit))}
+		if err != nil {
+			itemArgs = append(itemArgs, obs.Str("error", truncateErr(err.Error())))
+		}
+		itemSpan.End(itemArgs...)
 
 		s.mu.Lock()
 		if ctx.Err() != nil {
@@ -515,10 +561,12 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	if err := ctx.Err(); err != nil {
 		j.state = StateCancelled
 		j.err = fmt.Sprintf("job cancelled: %v", err)
+		j.endRunSpanLocked("cancelled")
 		j.appendEvent(EventCancelled, map[string]any{"reason": err.Error()})
 		s.journalTerminalLocked(j)
 		s.metrics.finishJob(StateCancelled, dur)
-		s.log.Warn("job cancelled", "job_id", j.id, "reason", err.Error(), "duration_ms", dur.Milliseconds())
+		s.log.Warn("job cancelled", "job_id", j.id, "trace_id", j.traceID(),
+			"reason", err.Error(), "duration_ms", dur.Milliseconds())
 		return
 	}
 	failed := 0
@@ -529,6 +577,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	}
 	if failed > 0 {
 		if allRetryable && j.attempts < s.opts.MaxAttempts && !s.draining {
+			j.endRunSpanLocked("retrying")
 			s.retryLocked(j, failed)
 			return
 		}
@@ -537,18 +586,40 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		if j.attempts > 1 {
 			j.err = fmt.Sprintf("%s (attempt %d of %d)", j.err, j.attempts, s.opts.MaxAttempts)
 		}
+		j.endRunSpanLocked("failed")
 		j.appendEvent(EventFailed, map[string]any{"failed": failed, "attempt": j.attempts})
 		s.journalTerminalLocked(j)
 		s.metrics.finishJob(StateFailed, dur)
-		s.log.Warn("job failed", "job_id", j.id, "failed_items", failed, "attempt", j.attempts,
+		s.log.Warn("job failed", "job_id", j.id, "trace_id", j.traceID(),
+			"failed_items", failed, "attempt", j.attempts,
 			"duration_ms", dur.Milliseconds())
 		return
 	}
 	j.state = StateDone
+	j.endRunSpanLocked("done")
 	j.appendEvent(EventDone, nil)
 	s.journalTerminalLocked(j)
 	s.metrics.finishJob(StateDone, dur)
-	s.log.Info("job done", "job_id", j.id, "items", len(j.items), "duration_ms", dur.Milliseconds())
+	s.log.Info("job done", "job_id", j.id, "trace_id", j.traceID(),
+		"items", len(j.items), "duration_ms", dur.Milliseconds())
+}
+
+// endRunSpanLocked closes the current attempt's job.run span with its
+// outcome. Caller holds the server lock.
+func (j *job) endRunSpanLocked(state string) {
+	if j.runSpan == nil {
+		return
+	}
+	j.runSpan.End(obs.Str("state", state))
+	j.runSpan = nil
+}
+
+// b2u renders a bool as a 0/1 span attribute value.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // retryLocked sends a transiently-failed job back toward the queue
@@ -577,13 +648,19 @@ func (s *Server) retryLocked(j *job, failed int) {
 		"error":    truncateErr(firstErr),
 	})
 	if jl := s.opts.Journal; jl != nil {
-		if err := jl.Retrying(j.id, j.attempts, truncateErr(firstErr)); err != nil {
+		err := journalSpan(j.trace, j.root, "retrying", func() error {
+			return jl.Retrying(j.id, j.attempts, truncateErr(firstErr))
+		})
+		if err != nil {
 			s.log.Error("journal append failed", "job_id", j.id, "record", "retrying", "error", err.Error())
 		}
 	}
+	j.backoffSpan = j.trace.StartSpan(spanBackoff, j.root,
+		obs.U64("attempt", uint64(j.attempts)),
+		obs.U64("delay_ms", uint64(delay.Milliseconds())))
 	s.metrics.retries.Inc()
 	s.metrics.backoff.AddGauge(1)
-	s.log.Warn("job retrying", "job_id", j.id, "attempt", j.attempts,
+	s.log.Warn("job retrying", "job_id", j.id, "trace_id", j.traceID(), "attempt", j.attempts,
 		"max_attempts", s.opts.MaxAttempts, "delay_ms", delay.Milliseconds(), "failed_items", failed)
 	s.backoff[j.id] = time.AfterFunc(delay, func() { s.requeueAfterBackoff(j) })
 }
@@ -599,12 +676,19 @@ func (s *Server) requeueAfterBackoff(j *job) {
 	}
 	delete(s.backoff, j.id)
 	s.metrics.backoff.AddGauge(-1)
+	if j.backoffSpan != nil {
+		j.backoffSpan.End()
+		j.backoffSpan = nil
+	}
 	if s.draining {
 		s.cancelPendingLocked(j, "server draining")
 		return
 	}
 	s.queue.push(j)
-	s.metrics.queued.Set(float64(s.queue.Len()))
+	j.queueSpan = j.trace.StartSpan(spanQueueWait, j.root,
+		obs.Str("priority", strconv.Itoa(j.priority)),
+		obs.U64("queue_depth", uint64(s.queue.Len())))
+	s.metrics.noteQueueDepth(s.queue.Len())
 	s.log.Info("job requeued", "job_id", j.id, "attempt", j.attempts)
 	s.cond.Signal()
 }
@@ -616,6 +700,14 @@ func (s *Server) cancelPendingLocked(j *job, reason string) {
 	j.state = StateCancelled
 	j.err = "job cancelled: " + reason
 	j.finished = time.Now()
+	if j.queueSpan != nil {
+		j.queueSpan.End(obs.Str("error", reason))
+		j.queueSpan = nil
+	}
+	if j.backoffSpan != nil {
+		j.backoffSpan.End(obs.Str("error", reason))
+		j.backoffSpan = nil
+	}
 	j.appendEvent(EventCancelled, map[string]any{"reason": reason})
 	s.journalTerminalLocked(j)
 	s.metrics.finishJob(StateCancelled, 0)
@@ -631,7 +723,10 @@ func (s *Server) journalTerminalLocked(j *job) {
 	if jl == nil {
 		return
 	}
-	if err := jl.Terminal(j.id, j.state, j.err); err != nil {
+	err := journalSpan(j.trace, j.root, "terminal", func() error {
+		return jl.Terminal(j.id, j.state, j.err)
+	})
+	if err != nil {
 		s.log.Error("journal append failed", "job_id", j.id, "record", "terminal", "error", err.Error())
 	}
 }
@@ -806,6 +901,7 @@ func (r *statusRecorder) Flush() {
 //	GET  /v1/jobs             list jobs
 //	GET  /v1/jobs/{id}        one job (includes live progress)
 //	GET  /v1/jobs/{id}/events server-sent event stream
+//	GET  /v1/jobs/{id}/trace  span timeline as Chrome trace_event JSON
 //	GET  /healthz             "ok" (200) or "draining" (503)
 //	GET  /metrics             Prometheus text exposition
 //	GET  /v1/cache/{key}      raw cached payload for peers (Options.CacheGet only)
@@ -819,6 +915,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opts.CacheGet != nil {
@@ -842,12 +939,20 @@ func (s *Server) Handler() http.Handler {
 //
 // A well-formed inbound X-Request-Id is adopted instead of minted so
 // one ID threads a request across hops (client → gateway → backend);
-// anything malformed, oversized, or absent gets a fresh local ID.
+// anything malformed, oversized, or absent gets a fresh local ID —
+// except when the request carries a valid traceparent, in which case
+// the ID derives from the trace ID so every hop of the trace mints
+// the same one and the hops' logs join on it.
 func (s *Server) withTelemetry(mux *http.ServeMux) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		remote, tpErr := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
 		reqID := sanitizeRequestID(r.Header.Get("X-Request-Id"))
 		if reqID == "" {
-			reqID = fmt.Sprintf("r%06d", s.nextReqID.Add(1))
+			if tpErr == nil {
+				reqID = obs.RequestIDFromTrace(remote.Trace)
+			} else {
+				reqID = fmt.Sprintf("r%06d", s.nextReqID.Add(1))
+			}
 		}
 		w.Header().Set("X-Request-Id", reqID)
 		_, route := mux.Handler(r)
@@ -856,15 +961,20 @@ func (s *Server) withTelemetry(mux *http.ServeMux) http.Handler {
 		}
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
-		mux.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, reqID)))
+		ctx := context.WithValue(r.Context(), reqIDKey{}, reqID)
+		logArgs := []any{"request_id", reqID, "route", route, "path", r.URL.Path}
+		if tpErr == nil {
+			ctx = context.WithValue(ctx, traceCtxKey{}, remote)
+			logArgs = append(logArgs, "trace_id", remote.Trace.String(), "span_id", remote.Span.String())
+		}
+		mux.ServeHTTP(rec, r.WithContext(ctx))
 		code := rec.code
 		if code == 0 {
 			code = http.StatusOK
 		}
 		s.metrics.httpReqs.With(route, strconv.Itoa(code)).Inc()
-		s.log.Debug("http request", "request_id", reqID, "route", route,
-			"path", r.URL.Path, "code", code,
-			"duration_ms", float64(time.Since(start).Microseconds())/1000)
+		s.log.Debug("http request", append(logArgs, "code", code,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000)...)
 	})
 }
 
@@ -912,7 +1022,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	v, err := s.submit(req, requestID(r.Context()))
+	v, err := s.submit(req, requestID(r.Context()), traceContext(r.Context()))
 	switch {
 	case errors.Is(err, ErrDraining):
 		// Retry-After tells well-behaved open-loop clients to back off
@@ -979,6 +1089,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
+	s.metrics.sseClients.AddGauge(1)
+	defer s.metrics.sseClients.AddGauge(-1)
 	next := 0
 	resumed := false
 	if lei := strings.TrimSpace(r.Header.Get("Last-Event-ID")); lei != "" {

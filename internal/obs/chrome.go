@@ -29,6 +29,13 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	bw.WriteString(`{"displayTimeUnit":"ms","otherData":{"tool":"gpuwalk","dropped":`)
 	bw.WriteString(strconv.FormatUint(t.dropped, 10))
+	for i := range t.metas {
+		m := &t.metas[i]
+		bw.WriteByte(',')
+		bw.WriteString(jsonString(m.Key))
+		bw.WriteByte(':')
+		bw.WriteString(jsonString(m.Str))
+	}
 	bw.WriteString("},\n\"traceEvents\":[\n")
 
 	first := true

@@ -40,12 +40,12 @@ type Track struct {
 	pid, tid int32
 }
 
-// Arg is one key/value annotation on an event. A non-empty Str takes
-// precedence over Val when encoding.
+// Arg is one key/value annotation on an event or span. A non-empty
+// Str takes precedence over Val when encoding.
 type Arg struct {
-	Key string
-	Str string
-	Val uint64
+	Key string `json:"key"`
+	Str string `json:"str,omitempty"`
+	Val uint64 `json:"val,omitempty"`
 }
 
 // U64 builds a numeric argument.
@@ -91,6 +91,7 @@ type Tracer struct {
 	procs   []process
 	events  []Event
 	dropped uint64
+	metas   []Arg // extra otherData entries (SetMeta)
 }
 
 // NewTracer returns an empty tracer with the default event limit.
@@ -106,6 +107,36 @@ func (t *Tracer) SetLimit(n int) {
 		n = DefaultEventLimit
 	}
 	t.limit = n
+}
+
+// SetMeta attaches a key/value pair to the trace file's otherData
+// object — the hook that links a sim trace to the service-level
+// request that produced it (key "trace_id"). Later values for the
+// same key win. Nil-safe.
+func (t *Tracer) SetMeta(key, val string) {
+	if t == nil {
+		return
+	}
+	for i := range t.metas {
+		if t.metas[i].Key == key {
+			t.metas[i].Str = val
+			return
+		}
+	}
+	t.metas = append(t.metas, Str(key, val))
+}
+
+// Meta returns the otherData value set for key ("" if unset).
+func (t *Tracer) Meta(key string) string {
+	if t == nil {
+		return ""
+	}
+	for i := range t.metas {
+		if t.metas[i].Key == key {
+			return t.metas[i].Str
+		}
+	}
+	return ""
 }
 
 // Attach connects the tracer to a run's clock. The system under

@@ -1,0 +1,341 @@
+package obs
+
+// This file is the service-level half of the observability layer: a
+// lightweight distributed-tracing span model in the W3C Trace Context
+// mold. Where the Tracer in obs.go records cycle-stamped events from
+// one deterministic simulation, a SpanBuf records wall-clock stages of
+// one request as it crosses the gateway, a backend's queue and worker
+// pool, the result cache, and finally the simulation itself. The two
+// meet in spanchrome.go (spans render as the same Chrome trace_event
+// JSON) and via Tracer.SetMeta (a sim trace can carry the trace ID of
+// the job that produced it).
+//
+// The discipline matches the sim tracer: every method on every type is
+// nil-safe, so a server built with tracing disabled threads zero-value
+// SpanRefs through the same code paths and pays one pointer compare
+// per hook — no allocation, no lock. The overhead test in the
+// repository root pins that down.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one end-to-end request across every hop. The zero
+// value is invalid per the W3C spec.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace. The zero value is invalid.
+type SpanID [8]byte
+
+// String returns the 32-char lowercase hex form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the 16-char lowercase hex form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// MarshalText implements encoding.TextMarshaler (hex).
+func (t TraceID) MarshalText() ([]byte, error) {
+	b := make([]byte, 32)
+	hex.Encode(b, t[:])
+	return b, nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (t *TraceID) UnmarshalText(b []byte) error {
+	if len(b) != 32 {
+		return fmt.Errorf("obs: trace id must be 32 hex chars, got %d", len(b))
+	}
+	_, err := hex.Decode(t[:], b)
+	return err
+}
+
+// MarshalText implements encoding.TextMarshaler (hex).
+func (s SpanID) MarshalText() ([]byte, error) {
+	b := make([]byte, 16)
+	hex.Encode(b, s[:])
+	return b, nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *SpanID) UnmarshalText(b []byte) error {
+	if len(b) != 16 {
+		return fmt.Errorf("obs: span id must be 16 hex chars, got %d", len(b))
+	}
+	_, err := hex.Decode(s[:], b)
+	return err
+}
+
+// NewTraceID returns a random, non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		if _, err := rand.Read(t[:]); err != nil {
+			panic(err) // crypto/rand never fails on supported platforms
+		}
+	}
+	return t
+}
+
+// NewSpanID returns a random, non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		if _, err := rand.Read(s[:]); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// SpanContext is the propagated half of a span: the trace it belongs
+// to and its own ID, exactly what a traceparent header carries.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether both IDs are non-zero, per the W3C spec.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// Span is one completed, named stage of a request.
+type Span struct {
+	Name    string        `json:"name"`
+	Service string        `json:"service"`
+	Trace   TraceID       `json:"trace_id"`
+	ID      SpanID        `json:"span_id"`
+	Parent  SpanID        `json:"parent_id,omitempty"`
+	Start   time.Time     `json:"start"`
+	Dur     time.Duration `json:"dur_ns"`
+	Attrs   []Arg         `json:"attrs,omitempty"`
+}
+
+// SpanBuf is a bounded, concurrency-safe buffer of completed spans for
+// one trace, held by the job (or gateway trace store) that owns the
+// request. All methods are nil-safe: a nil *SpanBuf is "tracing
+// disabled" and every operation on it — and on the ActiveSpans and
+// SpanRefs it hands out — is a no-op.
+type SpanBuf struct {
+	mu      sync.Mutex
+	service string
+	trace   TraceID
+	limit   int
+	spans   []Span
+	dropped uint64
+	onEnd   func(name string, d time.Duration)
+}
+
+// DefaultSpanLimit bounds a SpanBuf unless overridden. A job passes
+// through a few dozen stages even with retries; 256 leaves headroom
+// while keeping a hostile retry loop from growing memory.
+const DefaultSpanLimit = 256
+
+// NewSpanBuf returns a buffer for one trace. service labels the
+// emitting node ("gateway", the node name, ...). limit <= 0 selects
+// DefaultSpanLimit.
+func NewSpanBuf(service string, trace TraceID, limit int) *SpanBuf {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &SpanBuf{service: service, trace: trace, limit: limit}
+}
+
+// OnEnd installs a hook called (outside the buffer lock) with every
+// span's name and duration as it ends — the bridge from spans to the
+// per-stage latency histograms. Call before the buffer is shared.
+func (b *SpanBuf) OnEnd(fn func(name string, d time.Duration)) {
+	if b == nil {
+		return
+	}
+	b.onEnd = fn
+}
+
+// Trace returns the buffer's trace ID (zero for nil).
+func (b *SpanBuf) Trace() TraceID {
+	if b == nil {
+		return TraceID{}
+	}
+	return b.trace
+}
+
+// Service returns the buffer's service label.
+func (b *SpanBuf) Service() string {
+	if b == nil {
+		return ""
+	}
+	return b.service
+}
+
+// Spans returns a copy of the completed spans in end order.
+func (b *SpanBuf) Spans() []Span {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Span, len(b.spans))
+	copy(out, b.spans)
+	return out
+}
+
+// Len returns the number of completed spans.
+func (b *SpanBuf) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spans)
+}
+
+// Dropped returns how many spans were discarded at the limit.
+func (b *SpanBuf) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// add appends a completed span, honoring the limit, and fires onEnd.
+func (b *SpanBuf) add(s Span) {
+	b.mu.Lock()
+	if len(b.spans) >= b.limit {
+		b.dropped++
+		b.mu.Unlock()
+	} else {
+		b.spans = append(b.spans, s)
+		b.mu.Unlock()
+	}
+	if b.onEnd != nil {
+		b.onEnd(s.Name, s.Dur)
+	}
+}
+
+// StartSpan opens a span under parent (zero parent = root) and returns
+// its handle. The span is buffered only when End is called; durations
+// come from the monotonic clock via time.Since.
+func (b *SpanBuf) StartSpan(name string, parent SpanID, attrs ...Arg) *ActiveSpan {
+	if b == nil {
+		return nil
+	}
+	return &ActiveSpan{
+		buf:  b,
+		span: Span{Name: name, Service: b.service, Trace: b.trace, ID: NewSpanID(), Parent: parent, Start: time.Now(), Attrs: attrs},
+	}
+}
+
+// AddSpan records an already-measured span (e.g. a backoff interval
+// reconstructed after the timer fired) and returns its ID.
+func (b *SpanBuf) AddSpan(name string, parent SpanID, start time.Time, dur time.Duration, attrs ...Arg) SpanID {
+	if b == nil {
+		return SpanID{}
+	}
+	id := NewSpanID()
+	b.add(Span{Name: name, Service: b.service, Trace: b.trace, ID: id, Parent: parent, Start: start, Dur: dur, Attrs: attrs})
+	return id
+}
+
+// ActiveSpan is an open span. End completes it; all methods tolerate a
+// nil receiver and double-End.
+type ActiveSpan struct {
+	buf   *SpanBuf
+	span  Span
+	ended bool
+	mu    sync.Mutex
+}
+
+// ID returns the span's ID (zero for nil).
+func (a *ActiveSpan) ID() SpanID {
+	if a == nil {
+		return SpanID{}
+	}
+	return a.span.ID
+}
+
+// Context returns the span's propagation context (for traceparent).
+func (a *ActiveSpan) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: a.span.Trace, Span: a.span.ID}
+}
+
+// End completes the span, appending any final attributes. Duration is
+// measured on the monotonic clock. Second and later calls are no-ops.
+func (a *ActiveSpan) End(attrs ...Arg) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.ended {
+		a.mu.Unlock()
+		return
+	}
+	a.ended = true
+	s := a.span
+	a.mu.Unlock()
+	s.Dur = time.Since(s.Start)
+	if len(attrs) > 0 {
+		s.Attrs = append(s.Attrs[:len(s.Attrs):len(s.Attrs)], attrs...)
+	}
+	a.buf.add(s)
+}
+
+// SpanRef is the context-carried handle lower layers use to hang child
+// spans off the current stage: the buffer plus the would-be parent's
+// ID. The zero SpanRef is "tracing disabled" and is what SpanRefFrom
+// returns for a bare context; Start on it is a no-op returning nil.
+type SpanRef struct {
+	Buf  *SpanBuf
+	Span SpanID
+}
+
+// Valid reports whether the ref can record spans.
+func (r SpanRef) Valid() bool { return r.Buf != nil }
+
+// Start opens a child span under the ref's span. Returns nil (safe to
+// End) when the ref is zero.
+func (r SpanRef) Start(name string, attrs ...Arg) *ActiveSpan {
+	if r.Buf == nil {
+		return nil
+	}
+	return r.Buf.StartSpan(name, r.Span, attrs...)
+}
+
+// spanRefCtxKey keys the SpanRef carried through a request context,
+// mirroring the jobd progress-sink plumbing.
+type spanRefCtxKey struct{}
+
+// ContextWithSpanRef returns ctx carrying r. A zero r returns ctx
+// unchanged so disabled paths allocate nothing.
+func ContextWithSpanRef(ctx context.Context, r SpanRef) context.Context {
+	if r.Buf == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanRefCtxKey{}, r)
+}
+
+// SpanRefFrom returns the SpanRef carried by ctx, or the zero ref.
+func SpanRefFrom(ctx context.Context) SpanRef {
+	r, _ := ctx.Value(spanRefCtxKey{}).(SpanRef)
+	return r
+}
+
+// RequestIDFromTrace derives a stable request ID from a trace ID, so
+// every hop that sees the same traceparent without an X-Request-Id
+// mints the same ID and gateway/backend log lines join on one key.
+func RequestIDFromTrace(t TraceID) string {
+	return "t" + hex.EncodeToString(t[:8])
+}

@@ -1,0 +1,125 @@
+package obs
+
+// Rendering service spans in the same Chrome trace_event JSON the sim
+// tracer emits, so a job's request timeline opens in chrome://tracing
+// or Perfetto with the exact tooling (and CheckChrome validator) the
+// repository already has. Each service ("gateway", each node name)
+// becomes one process row; timestamps are absolute wall-clock
+// microseconds, so spans merged from several nodes line up as well as
+// their clocks do.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// SpanDoc is the raw-span wire format served by a backend's
+// GET /v1/jobs/{id}/trace?format=spans — what the cluster gateway
+// fetches to merge a backend's spans with its own routing spans
+// before rendering the combined Chrome trace.
+type SpanDoc struct {
+	TraceID string `json:"trace_id"`
+	Service string `json:"service,omitempty"`
+	Spans   []Span `json:"spans"`
+}
+
+// WriteChromeSpans renders completed spans as Chrome trace_event JSON.
+// Spans may come from several services (gateway + backend merges); the
+// output orders them by start time, then service, then name, then span
+// ID, so a merged trace is independent of merge order.
+func WriteChromeSpans(w io.Writer, spans []Span) error {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := &sorted[i], &sorted[j]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		if a.Service != b.Service {
+			return a.Service < b.Service
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.ID.String() < b.ID.String()
+	})
+
+	// Deterministic pid per service, in sorted order.
+	services := make([]string, 0, 4)
+	seen := map[string]int{}
+	for i := range sorted {
+		svc := sorted[i].Service
+		if svc == "" {
+			svc = "unknown"
+			sorted[i].Service = svc
+		}
+		if _, ok := seen[svc]; !ok {
+			seen[svc] = 0
+			services = append(services, svc)
+		}
+	}
+	sort.Strings(services)
+	for i, svc := range services {
+		seen[svc] = i + 1
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString(`{"displayTimeUnit":"ms","otherData":{"tool":"gpuwalk","kind":"spans"`)
+	if len(sorted) > 0 {
+		bw.WriteString(`,"trace_id":`)
+		bw.WriteString(jsonString(sorted[0].Trace.String()))
+	}
+	bw.WriteString("},\n\"traceEvents\":[\n")
+
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+	for _, svc := range services {
+		pid := seen[svc]
+		sep()
+		fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, jsonString(svc))
+		sep()
+		fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":%d,"tid":0,"args":{"name":"spans"}}`, pid)
+	}
+	for i := range sorted {
+		s := &sorted[i]
+		sep()
+		bw.WriteString(`{"name":`)
+		bw.WriteString(jsonString(s.Name))
+		bw.WriteString(`,"cat":"span","ph":"X","ts":`)
+		bw.WriteString(strconv.FormatInt(s.Start.UnixMicro(), 10))
+		bw.WriteString(`,"dur":`)
+		bw.WriteString(strconv.FormatInt(s.Dur.Microseconds(), 10))
+		fmt.Fprintf(bw, `,"pid":%d,"tid":0,"args":{`, seen[s.Service])
+		bw.WriteString(`"trace_id":`)
+		bw.WriteString(jsonString(s.Trace.String()))
+		bw.WriteString(`,"span_id":`)
+		bw.WriteString(jsonString(s.ID.String()))
+		if !s.Parent.IsZero() {
+			bw.WriteString(`,"parent_id":`)
+			bw.WriteString(jsonString(s.Parent.String()))
+		}
+		for j := range s.Attrs {
+			a := &s.Attrs[j]
+			bw.WriteByte(',')
+			bw.WriteString(jsonString(a.Key))
+			bw.WriteByte(':')
+			if a.Str != "" {
+				bw.WriteString(jsonString(a.Str))
+			} else {
+				bw.WriteString(strconv.FormatUint(a.Val, 10))
+			}
+		}
+		bw.WriteString("}}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

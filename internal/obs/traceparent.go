@@ -1,0 +1,95 @@
+package obs
+
+// W3C Trace Context traceparent header encode/parse
+// (https://www.w3.org/TR/trace-context/). The header is
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	   00   - 32 lowhex  - 16 lowhex  -   2 lowhex
+//
+// Parsing follows the spec's liberal-receiver rules: a version other
+// than 00 is accepted as long as the first four fields parse (future
+// versions may append fields), but version ff, malformed lengths,
+// non-hex bytes, and all-zero trace or parent IDs are rejected.
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceparentHeader is the canonical header name (HTTP header names
+// are case-insensitive; this is the casing we emit).
+const TraceparentHeader = "Traceparent"
+
+// Traceparent encodes the context as a version-00 traceparent value
+// with the sampled flag set.
+func (sc SpanContext) Traceparent() string {
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(sc.Trace.String())
+	b.WriteByte('-')
+	b.WriteString(sc.Span.String())
+	b.WriteString("-01")
+	return b.String()
+}
+
+// ParseTraceparent parses a traceparent header value. It returns an
+// error for anything the spec says a receiver must treat as invalid;
+// callers respond to an error by starting a fresh trace.
+func ParseTraceparent(h string) (SpanContext, error) {
+	var sc SpanContext
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return sc, fmt.Errorf("obs: empty traceparent")
+	}
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return sc, fmt.Errorf("obs: traceparent has %d fields, want >= 4", len(parts))
+	}
+	ver := parts[0]
+	if len(ver) != 2 || !isLowHex(ver) {
+		return sc, fmt.Errorf("obs: bad traceparent version %q", ver)
+	}
+	if ver == "ff" {
+		return sc, fmt.Errorf("obs: traceparent version ff is forbidden")
+	}
+	if ver == "00" && len(parts) != 4 {
+		return sc, fmt.Errorf("obs: version 00 traceparent has %d fields, want 4", len(parts))
+	}
+	tr, par, flags := parts[1], parts[2], parts[3]
+	if len(tr) != 32 || !isLowHex(tr) {
+		return sc, fmt.Errorf("obs: bad traceparent trace-id %q", tr)
+	}
+	if len(par) != 16 || !isLowHex(par) {
+		return sc, fmt.Errorf("obs: bad traceparent parent-id %q", par)
+	}
+	if len(flags) != 2 || !isLowHex(flags) {
+		return sc, fmt.Errorf("obs: bad traceparent flags %q", flags)
+	}
+	if _, err := hex.Decode(sc.Trace[:], []byte(tr)); err != nil {
+		return SpanContext{}, err
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(par)); err != nil {
+		return SpanContext{}, err
+	}
+	if sc.Trace.IsZero() {
+		return SpanContext{}, fmt.Errorf("obs: all-zero traceparent trace-id")
+	}
+	if sc.Span.IsZero() {
+		return SpanContext{}, fmt.Errorf("obs: all-zero traceparent parent-id")
+	}
+	return sc, nil
+}
+
+// isLowHex reports whether s is entirely lowercase hex digits. The
+// spec forbids uppercase in traceparent fields.
+func isLowHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}

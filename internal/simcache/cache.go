@@ -1,6 +1,7 @@
 package simcache
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"sync"
 
 	"gpuwalk/internal/atomicio"
+	"gpuwalk/internal/obs"
 )
 
 // Options tunes a Cache.
@@ -227,6 +229,15 @@ func (c *Cache) SetPeer(p Peer) {
 // payload is stored locally (a Put) so the next Get hits without a
 // network hop.
 func (c *Cache) Get(key string) (payload []byte, ok bool, err error) {
+	return c.GetContext(context.Background(), key)
+}
+
+// GetContext is Get with a context carrying an optional request-trace
+// span (obs.SpanRefFrom): when present, the peer read-through fetch is
+// recorded as a cache.peer_fetch span, so slow network fetches show up
+// on a job's timeline. The context does not (yet) cancel the fetch —
+// Peer.Fetch has no context parameter — it only scopes the tracing.
+func (c *Cache) GetContext(ctx context.Context, key string) (payload []byte, ok bool, err error) {
 	b, ok, err := c.GetLocal(key)
 	if ok || err != nil {
 		return b, ok, err
@@ -237,7 +248,9 @@ func (c *Cache) Get(key string) (payload []byte, ok bool, err error) {
 	if peer == nil {
 		return nil, false, nil
 	}
+	fetchSpan := obs.SpanRefFrom(ctx).Start("cache.peer_fetch")
 	pb, ok := peer.Fetch(key)
+	fetchSpan.End(obs.U64("hit", boolU64(ok)), obs.U64("bytes", uint64(len(pb))))
 	if !ok {
 		return nil, false, nil
 	}
@@ -380,7 +393,13 @@ func (c *Cache) Close() error {
 
 // GetJSON reads the entry under key into out.
 func (c *Cache) GetJSON(key string, out any) (bool, error) {
-	b, ok, err := c.Get(key)
+	return c.GetJSONContext(context.Background(), key, out)
+}
+
+// GetJSONContext is GetJSON via GetContext (see there for the tracing
+// semantics of ctx).
+func (c *Cache) GetJSONContext(ctx context.Context, key string, out any) (bool, error) {
+	b, ok, err := c.GetContext(ctx, key)
 	if err != nil || !ok {
 		return false, err
 	}
@@ -388,6 +407,13 @@ func (c *Cache) GetJSON(key string, out any) (bool, error) {
 		return false, fmt.Errorf("simcache: decoding entry %s: %w", key[:8], err)
 	}
 	return true, nil
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // PutJSON stores v's JSON encoding under key and returns the bytes

@@ -1,6 +1,7 @@
 package gpuwalk_test
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -95,5 +96,24 @@ func TestObsDisabledOverhead(t *testing.T) {
 	t.Logf("base %.1f ns/op, nil-tracer %.1f ns/op, ratio %.4f", base, hooked, ratio)
 	if ratio > 1.02 {
 		t.Errorf("disabled-tracer overhead %.2f%% exceeds 2%% budget", (ratio-1)*100)
+	}
+}
+
+// TestSpanHooksDisabledZeroAlloc extends the disabled-overhead contract
+// to the request-tracing layer: the span hooks RunCached and the cache
+// thread through every call (SpanRefFrom + Start + End, and the
+// zero-ref ContextWithSpanRef) must allocate nothing when no trace is
+// attached — the common case for every library caller.
+func TestSpanHooksDisabledZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		c := obs.ContextWithSpanRef(ctx, obs.SpanRef{}) // zero ref: ctx unchanged
+		ref := obs.SpanRefFrom(c)
+		sp := ref.Start("cache.lookup")
+		sp.End(obs.U64("hit", 0))
+		ref.Start("sim.run").End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled span hooks allocate %.1f/op, want 0", allocs)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gpuwalk"
+	"gpuwalk/internal/obs"
 )
 
 // tinyCachedConfig is a fast config for cache tests: small machine,
@@ -89,6 +90,67 @@ func TestRunCachedDistinguishesConfigs(t *testing.T) {
 	}
 	if ra.Scheduler == rb.Scheduler {
 		t.Fatal("results do not reflect their configs")
+	}
+}
+
+// TestRunCachedTracedByteIdentity: attaching a request trace must not
+// perturb the simulation — a traced run's result is byte-identical to
+// an untraced run of the same config — while the trace itself records
+// the lookup, simulation and store stages, and a sim tracer attached to
+// the same run is stamped with the trace ID.
+func TestRunCachedTracedByteIdentity(t *testing.T) {
+	cfg := tinyCachedConfig()
+	plain, err := gpuwalk.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := gpuwalk.OpenResultCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := obs.NewSpanBuf("test", obs.NewTraceID(), 0)
+	root := buf.StartSpan("root", obs.SpanID{})
+	ctx := obs.ContextWithSpanRef(context.Background(),
+		obs.SpanRef{Buf: buf, Span: root.ID()})
+	tracedCfg := cfg
+	tracedCfg.Obs.Tracer = gpuwalk.NewTracer()
+
+	traced, hit, err := gpuwalk.RunCached(ctx, cache, tracedCfg)
+	if err != nil || hit {
+		t.Fatalf("traced run: hit=%v err=%v", hit, err)
+	}
+	enc := func(r gpuwalk.Result) string {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if enc(traced) != enc(plain) {
+		t.Fatal("traced run's result differs from an untraced run")
+	}
+
+	got := map[string]bool{}
+	for _, s := range buf.Spans() {
+		got[s.Name] = true
+	}
+	for _, want := range []string{"cache.lookup", "sim.run", "cache.put"} {
+		if !got[want] {
+			t.Fatalf("span %q not recorded; got %v", want, got)
+		}
+	}
+	if v := tracedCfg.Obs.Tracer.Meta("trace_id"); v != buf.Trace().String() {
+		t.Fatalf("sim tracer meta trace_id = %q, want %s", v, buf.Trace())
+	}
+
+	// The cache hit path is traced too, and stays byte-identical.
+	hitRes, hit, err := gpuwalk.RunCached(ctx, cache, cfg)
+	if err != nil || !hit {
+		t.Fatalf("hit run: hit=%v err=%v", hit, err)
+	}
+	if enc(hitRes) != enc(plain) {
+		t.Fatal("traced hit-path result differs")
 	}
 }
 
